@@ -1,0 +1,265 @@
+package pktclass
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each bench
+// regenerates the corresponding result from the models; run with
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*Engines benches additionally measure the software
+// classification rate of each engine implementation at the paper's
+// Table II operating point (N = 512).
+
+import (
+	"io"
+	"testing"
+
+	"pktclass/internal/experiments"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/sim"
+	"pktclass/internal/tcam"
+)
+
+func benchConfig() experiments.Config { return experiments.Default() }
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.TableI(); len(tab.Rows) != 6 {
+			b.Fatal("Table I wrong")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASICPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, n := range experiments.PaperNs {
+			total += tcam.ASICPowerModel(n)
+		}
+		if total <= 0 {
+			b.Fatal("bad model")
+		}
+	}
+}
+
+func BenchmarkRunAllExperiments(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(c, io.Discard, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension experiments (DESIGN.md §4 extensions table).
+
+func BenchmarkExtMultiPipeline(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtMultiPipeline(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtFeatureDependence(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtFeatureDependence(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtPartitionedTCAM(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtPartitionedTCAM(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtUpdateRate(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtUpdateRate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtASIC(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtASIC(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtModular(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtModular(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStride(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStride(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Software classification rates at the Table II operating point.
+
+func benchEngineSetup(b *testing.B) (*RuleSet, []Header) {
+	b.Helper()
+	rs := GenerateRuleSet(512, "prefix-only", 1)
+	trace := GenerateTrace(rs, 4096, 0.9, 2)
+	return rs, trace
+}
+
+func BenchmarkEngineStrideBVK3(b *testing.B) {
+	rs, trace := benchEngineSetup(b)
+	eng, err := NewStrideBV(rs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkEngineStrideBVK4(b *testing.B) {
+	rs, trace := benchEngineSetup(b)
+	eng, err := NewStrideBV(rs, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkEngineTCAM(b *testing.B) {
+	rs, trace := benchEngineSetup(b)
+	eng := NewTCAM(rs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkEngineLinear(b *testing.B) {
+	rs, trace := benchEngineSetup(b)
+	eng := NewLinear(rs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Classify(trace[i%len(trace)])
+	}
+}
+
+func BenchmarkEngineBatchParallel(b *testing.B) {
+	rs, trace := benchEngineSetup(b)
+	eng, err := NewStrideBV(rs, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ClassifyBatch(eng, trace, 0)
+	}
+}
+
+func BenchmarkRulesetExpansion(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 512, Profile: ruleset.FirewallProfile, Seed: 1, DefaultRule: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs.Expand()
+	}
+}

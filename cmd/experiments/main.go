@@ -1,0 +1,140 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and writes the results as text (default) or as the
+// markdown body of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # full sweep, text, to stdout
+//	experiments -md -o out.md   # markdown, to file
+//	experiments -ns 32,512      # restricted sweep
+//	experiments -only fig4      # one experiment
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"pktclass/internal/experiments"
+	"pktclass/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		md   = flag.Bool("md", false, "emit markdown tables")
+		plot = flag.Bool("plot", false, "render figures as ASCII charts (with -only)")
+		out  = flag.String("o", "-", "output file ('-' = stdout)")
+		ns   = flag.String("ns", "", "comma-separated ruleset sizes (default: paper sweep)")
+		seed = flag.Int64("seed", 1, "placement/ruleset seed")
+		only = flag.String("only", "", "run a single experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|asic|verify|multipipe|features|partition|updates|asic-compare|latency|modular|devices|stride-ablation")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	if *ns != "" {
+		cfg.Ns = nil
+		for _, tok := range strings.Split(*ns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad -ns element %q", tok)
+			}
+			cfg.Ns = append(cfg.Ns, n)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	if *only == "" {
+		if err := experiments.RunAll(cfg, bw, *md); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	emitFig := func(f *metrics.Figure, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *plot && strings.Contains(f.YLabel, "mW/Gbps"):
+			fmt.Fprintln(bw, f.LogASCIIPlot(16))
+		case *plot:
+			fmt.Fprintln(bw, f.ASCIIPlot(16))
+		case *md:
+			fmt.Fprintln(bw, f.Markdown())
+		default:
+			fmt.Fprintln(bw, f)
+		}
+	}
+	emitTable := func(t *metrics.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *md {
+			fmt.Fprintln(bw, t.Markdown())
+		} else {
+			fmt.Fprintln(bw, t)
+		}
+	}
+	switch *only {
+	case "table1":
+		emitTable(experiments.TableI(), nil)
+	case "fig4":
+		emitFig(experiments.Fig4(cfg))
+	case "fig5":
+		emitFig(experiments.Fig5(cfg))
+	case "fig6":
+		emitFig(experiments.Fig6(cfg))
+	case "fig7":
+		emitFig(experiments.Fig7(cfg))
+	case "fig8":
+		emitFig(experiments.Fig8(cfg))
+	case "fig9":
+		emitFig(experiments.Fig9(cfg))
+	case "fig10":
+		emitFig(experiments.Fig10(cfg))
+	case "table2":
+		emitTable(experiments.TableII(cfg))
+	case "asic":
+		emitFig(experiments.ASICPower(cfg), nil)
+	case "verify":
+		emitTable(experiments.VerifySummary(cfg))
+	case "multipipe":
+		emitFig(experiments.ExtMultiPipeline(cfg))
+	case "features":
+		emitTable(experiments.ExtFeatureDependence(cfg))
+	case "partition":
+		emitTable(experiments.ExtPartitionedTCAM(cfg))
+	case "updates":
+		emitTable(experiments.ExtUpdateRate(cfg))
+	case "asic-compare":
+		emitTable(experiments.ExtASIC(cfg))
+	case "latency":
+		emitTable(experiments.ExtLatency(cfg))
+	case "modular":
+		emitFig(experiments.ExtModular(cfg))
+	case "devices":
+		emitTable(experiments.ExtDevices(cfg))
+	case "stride-ablation":
+		emitFig(experiments.AblationStride(cfg))
+	default:
+		log.Fatalf("unknown experiment %q", *only)
+	}
+}

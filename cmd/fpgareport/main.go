@@ -1,0 +1,78 @@
+// Command fpgareport prints the full hardware evaluation (clock,
+// throughput, resources, power, placement geometry) for one engine
+// configuration on the modeled Virtex-7 — the per-configuration view
+// behind the figures cmd/experiments sweeps.
+//
+// Usage:
+//
+//	fpgareport -engine stridebv -n 1024 -stride 4 -mem distram -floorplan
+//	fpgareport -engine tcam -n 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pktclass/internal/floorplan"
+	"pktclass/internal/fpga"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgareport: ")
+	var (
+		engine = flag.String("engine", "stridebv", "engine: stridebv | tcam")
+		n      = flag.Int("n", 512, "ruleset size (ternary entries)")
+		stride = flag.Int("stride", 4, "StrideBV stride length")
+		mem    = flag.String("mem", "distram", "StrideBV stage memory: distram | bram")
+		fp     = flag.Bool("floorplan", false, "use PlanAhead-style floorplanning")
+		seed   = flag.Int64("seed", 1, "placement seed")
+		tool   = flag.Bool("tool", false, "ISE-style sectioned report (MAP/TRCE/XPower)")
+		die    = flag.Bool("die", false, "render the placed die map and longest nets")
+	)
+	flag.Parse()
+
+	d := fpga.Virtex7()
+	fmt.Println(d)
+	emit := func(r fpga.Report) {
+		if *tool {
+			fmt.Print(r.ToolReport())
+		} else {
+			fmt.Print(r)
+		}
+		if *die && r.Placement != nil {
+			fmt.Println()
+			fmt.Print(r.Placement.Render(100, 30))
+			fmt.Print(r.Placement.Summary(8))
+		}
+	}
+	switch *engine {
+	case "stridebv":
+		memory := fpga.DistRAM
+		switch *mem {
+		case "distram":
+		case "bram":
+			memory = fpga.BlockRAM
+		default:
+			log.Fatalf("unknown memory kind %q", *mem)
+		}
+		mode := floorplan.Automatic
+		if *fp {
+			mode = floorplan.Floorplanned
+		}
+		r, err := fpga.EvaluateStrideBV(d, fpga.StrideBVConfig{Ne: *n, K: *stride, Memory: memory}, mode, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r)
+	case "tcam":
+		r, err := fpga.EvaluateTCAM(d, fpga.TCAMConfig{Ne: *n}, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(r)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+}

@@ -1,0 +1,55 @@
+package pktclass_test
+
+import (
+	"fmt"
+
+	"pktclass"
+)
+
+// Example demonstrates the minimal classify flow: parse a ruleset, build
+// the StrideBV engine, classify one header.
+func Example() {
+	rs, err := pktclass.ParseRuleSetString(
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 tcp DROP\n" +
+			"@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 * PORT 1\n")
+	if err != nil {
+		panic(err)
+	}
+	eng, err := pktclass.NewStrideBV(rs, 4)
+	if err != nil {
+		panic(err)
+	}
+	h := pktclass.Header{SIP: 0x0A000001, DIP: 0x08080808, SP: 1234, DP: 80, Proto: 6}
+	rule := eng.Classify(h)
+	fmt.Println(rule, pktclass.ActionOf(rs, rule))
+	// Output: 0 DROP
+}
+
+// ExampleNewTCAM shows that the brute-force engine returns identical
+// results, including multi-match (IDS) reporting.
+func ExampleNewTCAM() {
+	rs, err := pktclass.ParseRuleSetString(
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 tcp PORT 9\n" +
+			"@10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 * PORT 2\n" +
+			"@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 * PORT 1\n")
+	if err != nil {
+		panic(err)
+	}
+	tc := pktclass.NewTCAM(rs)
+	h := pktclass.Header{SIP: 0x0A000001, DP: 80, Proto: 6}
+	fmt.Println(tc.Classify(h), tc.MultiMatch(h))
+	// Output: 0 [0 1 2]
+}
+
+// ExampleVerify differentially tests an engine against the linear
+// reference.
+func ExampleVerify() {
+	rs := pktclass.GenerateRuleSet(64, "firewall", 1)
+	eng, err := pktclass.NewStrideBV(rs, 3)
+	if err != nil {
+		panic(err)
+	}
+	trace := pktclass.GenerateTrace(rs, 500, 0.8, 2)
+	fmt.Printf("mismatch=%q\n", pktclass.Verify(rs, eng, trace))
+	// Output: mismatch=""
+}

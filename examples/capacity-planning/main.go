@@ -1,0 +1,92 @@
+// Capacity planning: pick a classifier implementation for a deployment.
+// Given a target ruleset size and line rate, sweep every engine
+// configuration through the FPGA models and print which ones meet the
+// requirement, at what resource and power cost — the decision the paper's
+// comparison is meant to inform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"pktclass"
+)
+
+type option struct {
+	name   string
+	report pktclass.Report
+}
+
+func main() {
+	var (
+		n      = flag.Int("n", 1024, "required ruleset capacity (rules)")
+		gbps   = flag.Float64("gbps", 80, "required line rate (Gbps, 40B packets)")
+		budget = flag.Float64("watts", 10, "power budget (W)")
+	)
+	flag.Parse()
+
+	rs := pktclass.GenerateRuleSet(*n, "prefix-only", 1)
+	d := pktclass.Virtex7()
+	fmt.Printf("requirement: %d rules, %.0f Gbps, <= %.1f W on %s\n\n", *n, *gbps, *budget, d.Name)
+
+	var opts []option
+	for _, mem := range []string{"distram", "bram"} {
+		for _, k := range []int{3, 4} {
+			for _, fp := range []bool{false, true} {
+				rep, err := pktclass.EvaluateStrideBVHardware(rs, d, k, mem, fp, 1)
+				if err != nil {
+					// Configurations that exceed the device are reported,
+					// not silently skipped.
+					fmt.Printf("  %-42s does not fit: %v\n", fmt.Sprintf("stridebv k=%d %s fp=%v", k, mem, fp), err)
+					continue
+				}
+				mode := "auto"
+				if fp {
+					mode = "planahead"
+				}
+				opts = append(opts, option{
+					name:   fmt.Sprintf("StrideBV k=%d %s (%s)", k, mem, mode),
+					report: rep,
+				})
+			}
+		}
+	}
+	trep, err := pktclass.EvaluateTCAMHardware(rs, d, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts = append(opts, option{name: "TCAM on FPGA", report: trep})
+
+	// Rank by power efficiency among those meeting the requirement.
+	sort.Slice(opts, func(i, j int) bool {
+		return opts[i].report.PowerEffMWPerGbps < opts[j].report.PowerEffMWPerGbps
+	})
+	fmt.Printf("%-36s %10s %8s %9s %9s %9s  %s\n",
+		"configuration", "Gbps", "W", "mW/Gbps", "slices%", "BRAM%", "verdict")
+	chosen := ""
+	for _, o := range opts {
+		r := o.report
+		verdict := "ok"
+		switch {
+		case r.ThroughputGbps < *gbps:
+			verdict = "too slow"
+		case r.Power.TotalW > *budget:
+			verdict = "over power budget"
+		default:
+			if chosen == "" {
+				chosen = o.name
+				verdict = "ok  <- selected"
+			}
+		}
+		fmt.Printf("%-36s %10.1f %8.2f %9.1f %9.1f %9.1f  %s\n",
+			o.name, r.ThroughputGbps, r.Power.TotalW, r.PowerEffMWPerGbps,
+			r.Utilization.SlicePct, r.Utilization.BRAMPct, verdict)
+	}
+	if chosen == "" {
+		fmt.Println("\nno configuration meets the requirement on this device")
+		return
+	}
+	fmt.Printf("\nselected: %s (most power-efficient configuration meeting the requirement)\n", chosen)
+}

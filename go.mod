@@ -1,0 +1,3 @@
+module pktclass
+
+go 1.22

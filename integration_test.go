@@ -1,0 +1,93 @@
+package pktclass
+
+// Integration test at the paper's largest operating point (N = 2048):
+// build every engine over the same ruleset, verify full agreement on a
+// directed trace, push the cycle-accurate pipeline to steady state, and
+// confirm the headline hardware shapes one more time through the facade.
+
+import (
+	"testing"
+
+	"pktclass/internal/sim"
+	"pktclass/internal/stridebv"
+)
+
+func TestPaperScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale integration skipped in -short mode")
+	}
+	const n = 2048
+	rs := GenerateRuleSet(n, "prefix-only", 2013)
+	trace := GenerateTrace(rs, 3000, 0.85, 2014)
+
+	ref := NewLinear(rs)
+	s3, err := NewStrideBV(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NewStrideBV(rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTCAM(rs)
+
+	for _, eng := range []Engine{s3, s4, tc} {
+		if msg := Verify(rs, eng, trace[:1000]); msg != "" {
+			t.Fatalf("%s at N=%d: %s", eng.Name(), n, msg)
+		}
+	}
+
+	// Cycle-accurate pipeline sustains 2 packets/cycle at this scale and
+	// matches the functional engine.
+	hr, err := sim.RunStrideBVPipeline(s4, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.PacketsPerCycle < 1.9 {
+		t.Fatalf("steady-state issue rate %.3f pkts/cycle", hr.PacketsPerCycle)
+	}
+	for i, h := range trace {
+		if hr.Results[i] != ref.Classify(h) {
+			t.Fatalf("pipeline diverges at packet %d", i)
+		}
+	}
+
+	// The modular organization agrees too.
+	mod, err := stridebv.NewModular(rs.Expand(), 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace[:500] {
+		if mod.Classify(h) != ref.Classify(h) {
+			t.Fatalf("modular engine diverges on %s", h)
+		}
+	}
+
+	// Hardware shapes at the paper's worst case, through the facade.
+	d := Virtex7()
+	rd, err := EvaluateStrideBVHardware(rs, d, 4, "distram", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := EvaluateStrideBVHardware(rs, d, 3, "bram", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := EvaluateTCAMHardware(rs, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rd.ThroughputGbps > rb.ThroughputGbps && rb.ThroughputGbps > rt.ThroughputGbps) {
+		t.Fatalf("throughput order broken: dist %.1f, bram %.1f, tcam %.1f",
+			rd.ThroughputGbps, rb.ThroughputGbps, rt.ThroughputGbps)
+	}
+	if !(rt.MemoryKbit < rd.MemoryKbit) {
+		t.Fatal("TCAM memory not lowest")
+	}
+	if rb.Utilization.BRAMPct < 95 {
+		t.Fatalf("k=3 N=2048 BRAM%% = %.1f, expected near saturation", rb.Utilization.BRAMPct)
+	}
+	if !(rd.PowerEffMWPerGbps < rt.PowerEffMWPerGbps) {
+		t.Fatal("distRAM power efficiency not better than TCAM")
+	}
+}

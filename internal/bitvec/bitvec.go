@@ -1,0 +1,286 @@
+// Package bitvec provides fixed-length bit vectors backed by []uint64 words.
+//
+// Bit vectors are the datapath type of bit-vector packet classification
+// (FSBV, StrideBV): each vector has one bit per rule, bit i corresponds to
+// rule index (priority) i, and classification reduces to bitwise AND of
+// per-field (or per-stride) vectors followed by a first-set scan that is the
+// software analogue of a hardware priority encoder.
+//
+// The representation is little-endian within the word array: bit i lives in
+// word i/64 at position i%64. Trailing bits of the last word beyond Len are
+// always kept zero, which lets Ones and FirstSet operate word-at-a-time
+// without masking.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New to create a sized vector.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits. n must be non-negative.
+func New(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewOnes returns a vector of n bits with every bit set. This is the
+// identity element for And at length n and the conventional initial partial
+// result BVP[0..N-1] fed into the first StrideBV pipeline stage.
+func NewOnes(n int) Vector {
+	v := New(n)
+	v.SetAll()
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v Vector) Len() int { return v.n }
+
+// Words exposes the backing words (aliased, not copied). The caller must not
+// set bits at positions >= Len.
+func (v Vector) Words() []uint64 { return v.words }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Set sets bit i to 1.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetTo sets bit i to b.
+func (v Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// SetAll sets every bit in the vector.
+func (v Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+}
+
+// ClearAll zeroes every bit.
+func (v Vector) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// maskTail zeroes the unused high bits of the final word.
+func (v Vector) maskTail() {
+	if v.n%wordBits != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(v.n%wordBits)) - 1
+	}
+}
+
+// And returns a new vector equal to v AND o. Lengths must match.
+func (v Vector) And(o Vector) Vector {
+	v.checkLen(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] & o.words[i]
+	}
+	return out
+}
+
+// AndInto computes dst = v AND o without allocating. Lengths must match.
+// dst may alias v or o.
+func (v Vector) AndInto(o, dst Vector) {
+	v.checkLen(o)
+	v.checkLen(dst)
+	for i := range v.words {
+		dst.words[i] = v.words[i] & o.words[i]
+	}
+}
+
+// AndWith computes v &= o in place.
+func (v Vector) AndWith(o Vector) {
+	v.checkLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or returns a new vector equal to v OR o.
+func (v Vector) Or(o Vector) Vector {
+	v.checkLen(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] | o.words[i]
+	}
+	return out
+}
+
+// OrWith computes v |= o in place.
+func (v Vector) OrWith(o Vector) {
+	v.checkLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Not returns a new vector with every bit of v inverted (within Len).
+func (v Vector) Not() Vector {
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = ^v.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+func (v Vector) checkLen(o Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 if the vector is
+// all zeros. The lowest index is the highest-priority rule, so FirstSet is
+// the software analogue of the priority encoder at the end of the StrideBV
+// pipeline and inside a TCAM.
+func (v Vector) FirstSet() int {
+	for i, w := range v.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextSet returns the index of the lowest set bit >= from, or -1.
+func (v Vector) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := v.words[wi] >> uint(from%wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i := wi + 1; i < len(v.words); i++ {
+		if v.words[i] != 0 {
+			return i*wordBits + bits.TrailingZeros64(v.words[i])
+		}
+	}
+	return -1
+}
+
+// Ones returns the number of set bits.
+func (v Vector) Ones() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// IsZero reports whether no bit is set.
+func (v Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v Vector) Equal(o Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBits returns the indices of all set bits in ascending order
+// (highest-priority first). This is the multi-match result used by IDS-style
+// classification where every matching rule must be reported.
+func (v Vector) SetBits() []int {
+	out := make([]int, 0, v.Ones())
+	for i, w := range v.words {
+		for w != 0 {
+			out = append(out, i*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector MSB-last ("1011…" with bit 0 first), matching
+// the rule-index order used throughout the paper's figures.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// FromString parses a vector from the format produced by String.
+func FromString(s string) (Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			v.Set(i)
+		case '0':
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q at %d", s[i], i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,104 @@
+// Package cli holds the I/O and engine-construction helpers the command
+// line tools share: ruleset/trace loading with format sniffing, and the
+// engine registry mapping -engine names to constructors.
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"pktclass/internal/core"
+	"pktclass/internal/dtree"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/tcam"
+)
+
+// LoadRuleSet reads a ruleset file in the text format.
+func LoadRuleSet(path string) (*ruleset.RuleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rs, err := ruleset.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// LoadTrace reads a trace file, sniffing the binary magic and falling back
+// to the text format. Empty traces are an error.
+func LoadTrace(path string) ([]packet.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	trace, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return trace, nil
+}
+
+// ReadTrace reads a trace from a stream with format sniffing.
+func ReadTrace(r io.Reader) ([]packet.Header, error) {
+	br := bufio.NewReader(r)
+	magic, _ := br.Peek(4)
+	if bytes.Equal(magic, []byte("PKTC")) {
+		return packet.ReadBinaryTrace(br)
+	}
+	return packet.ParseTrace(br)
+}
+
+// EngineNames lists the -engine values BuildEngine accepts.
+func EngineNames() []string {
+	return []string{"stridebv", "fsbv", "rangebv", "tcam", "tcam-fpga", "hicuts", "linear"}
+}
+
+// BuildEngine constructs the named engine over the ruleset. stride applies
+// to the stride-parameterized engines.
+func BuildEngine(rs *ruleset.RuleSet, name string, stride int) (core.Engine, error) {
+	switch name {
+	case "linear":
+		return core.NewLinear(rs), nil
+	case "tcam":
+		return tcam.NewBehavioral(rs.Expand()), nil
+	case "tcam-fpga":
+		return tcam.NewFPGA(rs.Expand()), nil
+	case "stridebv":
+		e, err := stridebv.New(rs.Expand(), stride)
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "fsbv":
+		e, err := stridebv.NewFSBV(rs.Expand())
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "rangebv":
+		e, err := stridebv.NewRange(rs, stride)
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "hicuts":
+		e, err := dtree.New(rs, dtree.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (choose from %v)", name, EngineNames())
+}

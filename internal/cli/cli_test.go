@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadRuleSet(t *testing.T) {
+	p := writeFile(t, "rules.txt", "@1.2.3.4/32 0.0.0.0/0 0 : 65535 80 : 80 tcp DROP\n")
+	rs, err := LoadRuleSet(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("N = %d", rs.Len())
+	}
+	if _, err := LoadRuleSet(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeFile(t, "bad.txt", "not rules\n")
+	if _, err := LoadRuleSet(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadTraceTextAndBinary(t *testing.T) {
+	text := writeFile(t, "t.txt", "1.2.3.4 5.6.7.8 1 2 6\n9.9.9.9 8.8.8.8 3 4 17\n")
+	tr, err := LoadTrace(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || tr[1].Proto != 17 {
+		t.Fatalf("text trace = %v", tr)
+	}
+	var buf bytes.Buffer
+	if err := packet.WriteBinaryTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(t.TempDir(), "t.bin")
+	if err := os.WriteFile(binPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadTrace(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2) != 2 || tr2[0] != tr[0] {
+		t.Fatalf("binary trace = %v", tr2)
+	}
+	empty := writeFile(t, "empty.txt", "# nothing\n")
+	if _, err := LoadTrace(empty); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestBuildEngineAllNames(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 24, Profile: ruleset.FirewallProfile, Seed: 1, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 100, MatchFraction: 0.8, Seed: 2})
+	for _, name := range EngineNames() {
+		eng, err := BuildEngine(rs, name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, h := range trace {
+			if got, want := eng.Classify(h), rs.FirstMatch(h); got != want {
+				t.Fatalf("%s: %d != %d on %s", name, got, want, h)
+			}
+		}
+	}
+	if _, err := BuildEngine(rs, "nope", 4); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("bad engine name not rejected: %v", err)
+	}
+	if _, err := BuildEngine(rs, "stridebv", 0); err == nil {
+		t.Fatal("bad stride accepted")
+	}
+}

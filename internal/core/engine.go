@@ -1,0 +1,98 @@
+// Package core defines the engine abstraction the paper's comparison is
+// built on, the linear-search reference classifier every engine is verified
+// against, and the head-to-head Comparator that produces the paper's metric
+// set for both ruleset-feature-independent engines.
+package core
+
+import (
+	"fmt"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// Engine is a packet classifier. Implementations in this repository:
+// the linear reference (this package), tcam.Behavioral, tcam.FPGA,
+// stridebv.Engine (any stride, FSBV at k=1) and stridebv.RangeEngine.
+type Engine interface {
+	// Name identifies the engine for reports.
+	Name() string
+	// Classify returns the index of the highest-priority matching rule,
+	// or -1 when no rule matches.
+	Classify(h packet.Header) int
+	// MultiMatch returns every matching rule index in priority order
+	// (IDS-style reporting).
+	MultiMatch(h packet.Header) []int
+	// NumRules returns the rule count N of the loaded classifier.
+	NumRules() int
+}
+
+// Linear is the brute-force reference engine: a priority-ordered scan of
+// the original (unexpanded) ruleset. It is the semantic ground truth.
+type Linear struct {
+	rs *ruleset.RuleSet
+}
+
+// NewLinear wraps a ruleset in the reference engine.
+func NewLinear(rs *ruleset.RuleSet) *Linear { return &Linear{rs: rs} }
+
+// Name identifies the engine.
+func (l *Linear) Name() string { return "linear-reference" }
+
+// Classify returns the first matching rule index, or -1.
+func (l *Linear) Classify(h packet.Header) int { return l.rs.FirstMatch(h) }
+
+// MultiMatch returns all matching rule indices in priority order.
+func (l *Linear) MultiMatch(h packet.Header) []int { return l.rs.AllMatches(h) }
+
+// NumRules returns N.
+func (l *Linear) NumRules() int { return l.rs.Len() }
+
+// Action resolves a classification result to the rule's action. A miss
+// (rule < 0) maps to the conventional default-deny.
+func Action(rs *ruleset.RuleSet, rule int) ruleset.Action {
+	if rule < 0 || rule >= rs.Len() {
+		return ruleset.Action{Kind: ruleset.Drop}
+	}
+	return rs.Rules[rule].Action
+}
+
+// Mismatch describes one differential-verification failure.
+type Mismatch struct {
+	Header packet.Header
+	Want   int
+	Got    int
+	Engine string
+	Kind   string // "classify" or "multimatch"
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s: %s on %s: got %d want %d", m.Engine, m.Kind, m.Header, m.Got, m.Want)
+}
+
+// Verify differentially tests an engine against the reference on a trace.
+// It returns all mismatches found (nil means the engine is equivalent on
+// this trace). MultiMatch agreement is checked element-wise.
+func Verify(ref Engine, eng Engine, trace []packet.Header) []Mismatch {
+	var out []Mismatch
+	for _, h := range trace {
+		want := ref.Classify(h)
+		if got := eng.Classify(h); got != want {
+			out = append(out, Mismatch{Header: h, Want: want, Got: got, Engine: eng.Name(), Kind: "classify"})
+			continue
+		}
+		wm := ref.MultiMatch(h)
+		gm := eng.MultiMatch(h)
+		if len(wm) != len(gm) {
+			out = append(out, Mismatch{Header: h, Want: len(wm), Got: len(gm), Engine: eng.Name(), Kind: "multimatch"})
+			continue
+		}
+		for i := range wm {
+			if wm[i] != gm[i] {
+				out = append(out, Mismatch{Header: h, Want: wm[i], Got: gm[i], Engine: eng.Name(), Kind: "multimatch"})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package dtree implements a HiCuts-style decision-tree packet classifier
+// (Gupta & McKeown, "Classifying packets with hierarchical intelligent
+// cuttings" — reference [7] of the paper).
+//
+// The paper's premise is that decision-tree classifiers are ruleset-feature
+// *reliant*: their memory footprint depends on how rules cluster in the
+// 5-dimensional space, so an adversarial or merely unlucky ruleset can
+// blow the memory budget that TCAM and StrideBV hold constant at the same
+// N. This package exists to demonstrate that contrast experimentally (see
+// the FeatureDependence experiment): it is a complete, correct classifier,
+// differentially verified like the others, whose MemoryBytes varies by
+// ruleset profile while the feature-independent engines' does not.
+//
+// Algorithm: each node covers a 5-dimensional box. Nodes holding at most
+// binth rules are leaves searched linearly. Interior nodes cut their box
+// into np equal intervals along one dimension; np and the dimension are
+// chosen with the HiCuts space-measure heuristic bounded by spfac.
+package dtree
+
+import (
+	"fmt"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// Config holds the HiCuts tuning parameters.
+type Config struct {
+	// Binth is the leaf threshold: nodes with <= Binth rules stop cutting.
+	Binth int
+	// Spfac bounds the space blow-up per cut: a cut into np children is
+	// acceptable while np + sum(child rule counts) <= Spfac * n.
+	Spfac float64
+	// MaxDepth caps the tree height as a safety net for degenerate sets.
+	MaxDepth int
+}
+
+// DefaultConfig mirrors the constants the HiCuts paper evaluates.
+func DefaultConfig() Config { return Config{Binth: 8, Spfac: 4.0, MaxDepth: 32} }
+
+// dims of the search space, in packet field order.
+const (
+	dimSIP = iota
+	dimDIP
+	dimSP
+	dimDP
+	dimProto
+	numDims
+)
+
+var dimMax = [numDims]uint64{1<<32 - 1, 1<<32 - 1, 1<<16 - 1, 1<<16 - 1, 1<<8 - 1}
+
+// box is an axis-aligned region of the 5-dimensional header space.
+type box struct {
+	lo, hi [numDims]uint64 // inclusive
+}
+
+func fullBox() box {
+	var b box
+	for d := 0; d < numDims; d++ {
+		b.hi[d] = dimMax[d]
+	}
+	return b
+}
+
+// ruleBox projects a rule onto the 5 dimensions.
+func ruleBox(r ruleset.Rule) box {
+	var b box
+	lo, hi := r.SIP.Range()
+	b.lo[dimSIP], b.hi[dimSIP] = uint64(lo), uint64(hi)
+	lo, hi = r.DIP.Range()
+	b.lo[dimDIP], b.hi[dimDIP] = uint64(lo), uint64(hi)
+	b.lo[dimSP], b.hi[dimSP] = uint64(r.SP.Lo), uint64(r.SP.Hi)
+	b.lo[dimDP], b.hi[dimDP] = uint64(r.DP.Lo), uint64(r.DP.Hi)
+	// Masked protocols project to their covering interval; exactness is
+	// restored by the leaf-level full rule match.
+	if r.Proto.Mask == 0xFF {
+		b.lo[dimProto], b.hi[dimProto] = uint64(r.Proto.Value), uint64(r.Proto.Value)
+	} else {
+		b.lo[dimProto], b.hi[dimProto] = 0, dimMax[dimProto]
+	}
+	return b
+}
+
+func (b box) overlaps(o box) bool {
+	for d := 0; d < numDims; d++ {
+		if b.hi[d] < o.lo[d] || b.lo[d] > o.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func headerPoint(h packet.Header) [numDims]uint64 {
+	return [numDims]uint64{
+		uint64(h.SIP), uint64(h.DIP), uint64(h.SP), uint64(h.DP), uint64(h.Proto),
+	}
+}
+
+// node is one tree node. Interior nodes cut dimension dim into np equal
+// intervals of width step (the last interval absorbs the remainder).
+type node struct {
+	// leaf payload
+	rules []int32 // rule indices, priority order
+	// interior payload
+	dim      int
+	np       int
+	step     uint64
+	lo       uint64
+	children []*node
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is the built classifier.
+type Tree struct {
+	rs   *ruleset.RuleSet
+	cfg  Config
+	root *node
+	// statistics
+	nodes      int
+	leaves     int
+	maxDepth   int
+	ruleRefs   int // total rule references across leaves (the replication)
+}
+
+// New builds a HiCuts tree over the ruleset.
+func New(rs *ruleset.RuleSet, cfg Config) (*Tree, error) {
+	if rs == nil || rs.Len() == 0 {
+		return nil, fmt.Errorf("dtree: empty ruleset")
+	}
+	if cfg.Binth < 1 || cfg.Spfac < 1 || cfg.MaxDepth < 1 {
+		return nil, fmt.Errorf("dtree: invalid config %+v", cfg)
+	}
+	t := &Tree{rs: rs, cfg: cfg}
+	boxes := make([]box, rs.Len())
+	all := make([]int32, rs.Len())
+	for i, r := range rs.Rules {
+		boxes[i] = ruleBox(r)
+		all[i] = int32(i)
+	}
+	t.root = t.build(fullBox(), all, boxes, 0)
+	return t, nil
+}
+
+func (t *Tree) build(region box, rules []int32, boxes []box, depth int) *node {
+	t.nodes++
+	if depth > t.maxDepth {
+		t.maxDepth = depth
+	}
+	if len(rules) <= t.cfg.Binth || depth >= t.cfg.MaxDepth {
+		t.leaves++
+		t.ruleRefs += len(rules)
+		return &node{rules: rules}
+	}
+	dim, np := t.chooseCut(region, rules, boxes)
+	if np < 2 {
+		t.leaves++
+		t.ruleRefs += len(rules)
+		return &node{rules: rules}
+	}
+	span := region.hi[dim] - region.lo[dim] + 1
+	step := span / uint64(np)
+	n := &node{dim: dim, np: np, step: step, lo: region.lo[dim]}
+	n.children = make([]*node, np)
+	progress := false
+	childRules := make([][]int32, np)
+	for c := 0; c < np; c++ {
+		child := region
+		child.lo[dim] = region.lo[dim] + uint64(c)*step
+		if c == np-1 {
+			child.hi[dim] = region.hi[dim]
+		} else {
+			child.hi[dim] = child.lo[dim] + step - 1
+		}
+		var sub []int32
+		for _, ri := range rules {
+			if boxes[ri].overlaps(child) {
+				sub = append(sub, ri)
+			}
+		}
+		childRules[c] = sub
+		if len(sub) < len(rules) {
+			progress = true
+		}
+	}
+	if !progress {
+		// Cutting did not separate anything (e.g. all rules wildcard this
+		// region); fall back to a leaf to guarantee termination.
+		t.leaves++
+		t.ruleRefs += len(rules)
+		return &node{rules: rules}
+	}
+	for c := 0; c < np; c++ {
+		child := region
+		child.lo[dim] = region.lo[dim] + uint64(c)*step
+		if c == np-1 {
+			child.hi[dim] = region.hi[dim]
+		} else {
+			child.hi[dim] = child.lo[dim] + step - 1
+		}
+		n.children[c] = t.build(child, childRules[c], boxes, depth+1)
+	}
+	return n
+}
+
+// chooseCut picks the dimension with the most distinct rule projections
+// inside the region and the largest np satisfying the space-measure bound.
+func (t *Tree) chooseCut(region box, rules []int32, boxes []box) (dim, np int) {
+	bestDim, bestDistinct := -1, 1
+	for d := 0; d < numDims; d++ {
+		if region.hi[d] == region.lo[d] {
+			continue
+		}
+		distinct := map[[2]uint64]bool{}
+		for _, ri := range rules {
+			lo, hi := boxes[ri].lo[d], boxes[ri].hi[d]
+			if lo < region.lo[d] {
+				lo = region.lo[d]
+			}
+			if hi > region.hi[d] {
+				hi = region.hi[d]
+			}
+			distinct[[2]uint64{lo, hi}] = true
+		}
+		if len(distinct) > bestDistinct {
+			bestDistinct, bestDim = len(distinct), d
+		}
+	}
+	if bestDim < 0 {
+		return 0, 0
+	}
+	budget := int(t.cfg.Spfac * float64(len(rules)))
+	span := region.hi[bestDim] - region.lo[bestDim] + 1
+	best := 0
+	for try := 2; try <= 64 && uint64(try) <= span; try *= 2 {
+		step := span / uint64(try)
+		if step == 0 {
+			break
+		}
+		cost := try
+		for c := 0; c < try && cost <= budget; c++ {
+			clo := region.lo[bestDim] + uint64(c)*step
+			chi := clo + step - 1
+			if c == try-1 {
+				chi = region.hi[bestDim]
+			}
+			for _, ri := range rules {
+				if boxes[ri].hi[bestDim] >= clo && boxes[ri].lo[bestDim] <= chi {
+					cost++
+				}
+			}
+		}
+		if cost <= budget {
+			best = try
+		} else {
+			break
+		}
+	}
+	return bestDim, best
+}
+
+// Name identifies the engine.
+func (t *Tree) Name() string { return fmt.Sprintf("hicuts-binth%d", t.cfg.Binth) }
+
+// NumRules returns N.
+func (t *Tree) NumRules() int { return t.rs.Len() }
+
+// Classify walks the tree and linearly searches the leaf.
+func (t *Tree) Classify(h packet.Header) int {
+	pt := headerPoint(h)
+	n := t.root
+	for !n.isLeaf() {
+		c := int((pt[n.dim] - n.lo) / n.step)
+		if c >= n.np {
+			c = n.np - 1
+		}
+		n = n.children[c]
+	}
+	for _, ri := range n.rules {
+		if t.rs.Rules[ri].Matches(h) {
+			return int(ri)
+		}
+	}
+	return -1
+}
+
+// MultiMatch returns all matching rules in priority order.
+func (t *Tree) MultiMatch(h packet.Header) []int {
+	pt := headerPoint(h)
+	n := t.root
+	for !n.isLeaf() {
+		c := int((pt[n.dim] - n.lo) / n.step)
+		if c >= n.np {
+			c = n.np - 1
+		}
+		n = n.children[c]
+	}
+	var out []int
+	for _, ri := range n.rules {
+		if t.rs.Rules[ri].Matches(h) {
+			out = append(out, int(ri))
+		}
+	}
+	return out
+}
+
+// Stats describes the built tree.
+type Stats struct {
+	Nodes    int
+	Leaves   int
+	MaxDepth int
+	RuleRefs int // total leaf rule references; RuleRefs/N is the replication factor
+}
+
+// Stats returns build statistics.
+func (t *Tree) Stats() Stats {
+	return Stats{Nodes: t.nodes, Leaves: t.leaves, MaxDepth: t.maxDepth, RuleRefs: t.ruleRefs}
+}
+
+// MemoryBytes estimates the classifier's storage: interior nodes carry a
+// header (dimension, np, bounds, child pointer base ≈ 16 B), leaves carry
+// a header plus one rule reference (4 B) per stored rule — the standard
+// accounting for decision-tree classifiers. Unlike TCAM/StrideBV this is
+// NOT a function of N alone: rule replication across leaves depends
+// entirely on ruleset structure.
+func (t *Tree) MemoryBytes() int {
+	const nodeHeader = 16
+	const ruleRef = 4
+	return t.nodes*nodeHeader + t.ruleRefs*ruleRef
+}
+
+// ReplicationFactor returns RuleRefs/N, the feature-dependent blow-up.
+func (t *Tree) ReplicationFactor() float64 {
+	return float64(t.ruleRefs) / float64(t.rs.Len())
+}
+
+// String summarises the tree.
+func (t *Tree) String() string {
+	s := t.Stats()
+	return fmt.Sprintf("%s{nodes=%d leaves=%d depth=%d refs=%d mem=%dB}",
+		t.Name(), s.Nodes, s.Leaves, s.MaxDepth, s.RuleRefs, t.MemoryBytes())
+}

@@ -1,0 +1,178 @@
+package dtree
+
+import (
+	"testing"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+func build(t testing.TB, rs *ruleset.RuleSet) *Tree {
+	t.Helper()
+	tr, err := New(rs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("accepted nil ruleset")
+	}
+	if _, err := New(ruleset.New(nil), DefaultConfig()); err == nil {
+		t.Fatal("accepted empty ruleset")
+	}
+	rs := ruleset.SampleRuleSet()
+	if _, err := New(rs, Config{Binth: 0, Spfac: 4, MaxDepth: 10}); err == nil {
+		t.Fatal("accepted binth 0")
+	}
+	if _, err := New(rs, Config{Binth: 8, Spfac: 0.5, MaxDepth: 10}); err == nil {
+		t.Fatal("accepted spfac < 1")
+	}
+	if _, err := New(rs, Config{Binth: 8, Spfac: 4, MaxDepth: 0}); err == nil {
+		t.Fatal("accepted depth 0")
+	}
+}
+
+func TestClassifyEqualsLinearAcrossProfiles(t *testing.T) {
+	for _, profile := range []ruleset.Profile{ruleset.FirewallProfile, ruleset.FeatureFree, ruleset.PrefixOnly} {
+		rs := ruleset.Generate(ruleset.GenConfig{N: 128, Profile: profile, Seed: 5, DefaultRule: true})
+		tr := build(t, rs)
+		trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 600, MatchFraction: 0.8, Seed: 6})
+		for _, h := range trace {
+			if got, want := tr.Classify(h), rs.FirstMatch(h); got != want {
+				t.Fatalf("%v: Classify=%d linear=%d for %s (%s)", profile, got, want, h, tr)
+			}
+		}
+	}
+}
+
+func TestMultiMatchEqualsLinear(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.FirewallProfile, Seed: 7, DefaultRule: true})
+	tr := build(t, rs)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 0.9, Seed: 8})
+	for _, h := range trace {
+		got, want := tr.MultiMatch(h), rs.AllMatches(h)
+		if len(got) != len(want) {
+			t.Fatalf("MultiMatch %v != %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MultiMatch %v != %v", got, want)
+			}
+		}
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	r := ruleset.Rule{
+		SIP: ruleset.Prefix{Value: 0x01020304, Bits: 32, Len: 32},
+		DIP: ruleset.Prefix{Bits: 32}, SP: ruleset.FullPortRange,
+		DP: ruleset.FullPortRange, Proto: ruleset.AnyProtocol,
+	}
+	tr := build(t, ruleset.New([]ruleset.Rule{r}))
+	if got := tr.Classify(packet.Header{SIP: 0x0A000001}); got != -1 {
+		t.Fatalf("Classify = %d, want -1", got)
+	}
+	if mm := tr.MultiMatch(packet.Header{SIP: 0x0A000001}); len(mm) != 0 {
+		t.Fatalf("MultiMatch = %v", mm)
+	}
+}
+
+func TestMaskedProtocolCorrectness(t *testing.T) {
+	// Masked (non-exact, non-wildcard) protocols project to the full
+	// interval in the tree; leaf-level matching must still be exact.
+	r1 := ruleset.NewWildcardRule(ruleset.Action{Port: 1})
+	r1.Proto = ruleset.Protocol{Value: 0x06, Mask: 0x0F}
+	r2 := ruleset.NewWildcardRule(ruleset.Action{Port: 2})
+	rs := ruleset.New([]ruleset.Rule{r1, r2})
+	tr := build(t, rs)
+	if got := tr.Classify(packet.Header{Proto: 0x16}); got != 0 {
+		t.Fatalf("masked proto hit = %d", got)
+	}
+	if got := tr.Classify(packet.Header{Proto: 0x17}); got != 1 {
+		t.Fatalf("masked proto miss = %d", got)
+	}
+}
+
+func TestTerminationOnIdenticalRules(t *testing.T) {
+	// 50 identical full wildcards cannot be separated by any cut; the
+	// build must terminate with a leaf.
+	rules := make([]ruleset.Rule, 50)
+	for i := range rules {
+		rules[i] = ruleset.NewWildcardRule(ruleset.Action{Port: i})
+	}
+	tr := build(t, ruleset.New(rules))
+	if got := tr.Classify(packet.Header{}); got != 0 {
+		t.Fatalf("priority among identical rules = %d", got)
+	}
+	if s := tr.Stats(); s.Leaves != 1 || s.Nodes != 1 {
+		t.Fatalf("degenerate set built %+v", s)
+	}
+}
+
+func TestStatsConsistent(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 256, Profile: ruleset.FirewallProfile, Seed: 9, DefaultRule: true})
+	tr := build(t, rs)
+	s := tr.Stats()
+	if s.Leaves > s.Nodes || s.Leaves == 0 {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+	if s.RuleRefs < rs.Len()-tr.cfg.Binth {
+		t.Fatalf("rule refs %d suspiciously low", s.RuleRefs)
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("zero memory")
+	}
+	if tr.ReplicationFactor() < 0.5 {
+		t.Fatalf("replication factor %f", tr.ReplicationFactor())
+	}
+	if tr.String() == "" || tr.Name() == "" || tr.NumRules() != 256 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// TestFeatureDependence demonstrates the paper's central premise: the
+// decision tree's memory depends on ruleset structure at fixed N, while
+// StrideBV/TCAM memory (a closed form in N) cannot. Feature-free rulesets
+// with heavy wildcard overlap replicate rules across leaves far more than
+// structured firewall rulesets do.
+func TestFeatureDependence(t *testing.T) {
+	const n = 256
+	mem := map[ruleset.Profile]int{}
+	for _, profile := range []ruleset.Profile{ruleset.FirewallProfile, ruleset.FeatureFree} {
+		rs := ruleset.Generate(ruleset.GenConfig{N: n, Profile: profile, Seed: 11, DefaultRule: false})
+		tr := build(t, rs)
+		mem[profile] = tr.MemoryBytes()
+	}
+	ratio := float64(mem[ruleset.FeatureFree]) / float64(mem[ruleset.FirewallProfile])
+	if ratio < 1.5 {
+		t.Fatalf("feature-free memory only %.2fx firewall memory (%d vs %d); expected strong feature dependence",
+			ratio, mem[ruleset.FeatureFree], mem[ruleset.FirewallProfile])
+	}
+}
+
+func BenchmarkBuild512(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 512, Profile: ruleset.FirewallProfile, Seed: 1, DefaultRule: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(rs, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify512(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 512, Profile: ruleset.FirewallProfile, Seed: 1, DefaultRule: true})
+	tr, err := New(rs, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 1024, MatchFraction: 0.9, Seed: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Classify(trace[i%len(trace)])
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtASICOrdering(t *testing.T) {
+	tab, err := ExtASIC(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	eff := func(row int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][4], 64)
+		if err != nil {
+			t.Fatalf("bad efficiency cell %q", tab.Rows[row][4])
+		}
+		return v
+	}
+	asicTCAM, fpgaTCAM := eff(0), eff(1)
+	fpgaSBV, asicSBV := eff(2), eff(3)
+	// Section IV-C: ASIC TCAM has superior power performance to FPGA
+	// implementations of StrideBV...
+	if !(asicTCAM < fpgaSBV) {
+		t.Fatalf("ASIC TCAM eff %.1f not better than FPGA StrideBV %.1f", asicTCAM, fpgaSBV)
+	}
+	// ...but "the same power efficiencies can be achieved if StrideBV is
+	// implemented on ASIC platforms".
+	if !(asicSBV < fpgaSBV) || asicSBV > 2*asicTCAM {
+		t.Fatalf("ASIC StrideBV eff %.1f does not recover the ASIC advantage (ASIC TCAM %.1f)", asicSBV, asicTCAM)
+	}
+	// FPGA TCAM is the worst of the four.
+	for _, other := range []float64{asicTCAM, fpgaSBV, asicSBV} {
+		if fpgaTCAM <= other {
+			t.Fatalf("FPGA TCAM eff %.1f not the worst", fpgaTCAM)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pktclass/internal/fpga"
+	"pktclass/internal/metrics"
+)
+
+// ExtDevices sweeps the Virtex-7 catalog and reports the largest
+// power-of-two ruleset each part can hold per engine configuration —
+// the capacity-scaling view the paper's single-device evaluation implies
+// but never tabulates. The limiting resource differs by column: distRAM
+// builds are slice-bound, BRAM builds block-bound, TCAM slice-bound.
+func ExtDevices(c Config) (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "Extension: maximum ruleset size per device (largest power-of-two N that fits)",
+		Headers: []string{"Device", "distRAM k=3", "distRAM k=4", "BRAM k=3", "BRAM k=4", "TCAM"},
+	}
+	const maxN = 1 << 16
+	fitsStride := func(d fpga.Device, k int, mem fpga.MemoryKind, n int) bool {
+		res := fpga.StrideBVResources(d, fpga.StrideBVConfig{Ne: n, K: k, Memory: mem})
+		return res.Fits(d) == nil
+	}
+	fitsTCAM := func(d fpga.Device, n int) bool {
+		return fpga.TCAMResources(d, fpga.TCAMConfig{Ne: n}).Fits(d) == nil
+	}
+	maxFit := func(fits func(int) bool) string {
+		best := 0
+		for n := 32; n <= maxN; n *= 2 {
+			if !fits(n) {
+				break
+			}
+			best = n
+		}
+		if best == 0 {
+			return "-"
+		}
+		return fmt.Sprint(best)
+	}
+	for _, d := range fpga.Catalog() {
+		dev := d
+		t.AddRow(dev.Name,
+			maxFit(func(n int) bool { return fitsStride(dev, 3, fpga.DistRAM, n) }),
+			maxFit(func(n int) bool { return fitsStride(dev, 4, fpga.DistRAM, n) }),
+			maxFit(func(n int) bool { return fitsStride(dev, 3, fpga.BlockRAM, n) }),
+			maxFit(func(n int) bool { return fitsStride(dev, 4, fpga.BlockRAM, n) }),
+			maxFit(func(n int) bool { return fitsTCAM(dev, n) }),
+		)
+	}
+	return t, nil
+}

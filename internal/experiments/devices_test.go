@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"pktclass/internal/fpga"
+)
+
+func TestExtDevices(t *testing.T) {
+	tab, err := ExtDevices(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(fpga.Catalog()) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	cell := func(row, col int) int {
+		v, err := strconv.Atoi(tab.Rows[row][col])
+		if err != nil {
+			t.Fatalf("cell (%d,%d) = %q", row, col, tab.Rows[row][col])
+		}
+		return v
+	}
+	for r := range tab.Rows {
+		// k=4 fits at least as much as k=3 (fewer stages, fewer slices).
+		if cell(r, 2) < cell(r, 1) {
+			t.Fatalf("%s: distRAM k=4 max %d < k=3 max %d", tab.Rows[r][0], cell(r, 2), cell(r, 1))
+		}
+		// Every part holds the paper's smallest ruleset in every config.
+		for col := 1; col <= 5; col++ {
+			if cell(r, col) < 32 {
+				t.Fatalf("%s col %d: max %d < 32", tab.Rows[r][0], col, cell(r, col))
+			}
+		}
+	}
+	// The paper device supports the paper's sweep in every configuration.
+	for r := range tab.Rows {
+		if tab.Rows[r][0] == fpga.Virtex7().Name {
+			for col := 1; col <= 5; col++ {
+				if cell(r, col) < 2048 {
+					t.Fatalf("paper device col %d max %d < 2048", col, cell(r, col))
+				}
+			}
+		}
+	}
+	// Largest part fits at least as many distRAM rules as the smallest.
+	last, first := len(tab.Rows)-1, 0
+	if cell(last, 1) < cell(first, 1) || cell(last, 5) < cell(first, 5) {
+		t.Fatal("capacity not growing with device size")
+	}
+}

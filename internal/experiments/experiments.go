@@ -1,0 +1,407 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) from the models in this repository. Each Fig*/
+// Table* function returns the data the corresponding plot shows; RunAll
+// renders everything, and cmd/experiments writes it to EXPERIMENTS.md.
+//
+// Conventions shared by all experiments (the paper's Section V):
+//   - ruleset sizes N ∈ {32..2048} doubling,
+//   - strides k ∈ {3, 4},
+//   - dual-port stage memory (2 packets/cycle) for StrideBV,
+//   - Figure 4 uses the default place-and-route (Automatic placement);
+//     Figures 5-6 contrast Automatic with Floorplanned (PlanAhead),
+//   - rulesets are synthetic and feature-free; hardware cost depends only
+//     on the entry count, which is the paper's central premise.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pktclass/internal/baseline"
+	"pktclass/internal/core"
+	"pktclass/internal/floorplan"
+	"pktclass/internal/fpga"
+	"pktclass/internal/metrics"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/tcam"
+)
+
+// Config parameterizes the experiment sweep.
+type Config struct {
+	Device fpga.Device
+	// Ns is the ruleset-size sweep; defaults to the paper's 32..2048.
+	Ns []int
+	// Seed drives placement and ruleset generation.
+	Seed int64
+}
+
+// PaperNs is the paper's ruleset-size sweep.
+var PaperNs = []int{32, 64, 128, 256, 512, 1024, 2048}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{Device: fpga.Virtex7(), Ns: PaperNs, Seed: 1}
+}
+
+func (c *Config) ns() []int {
+	if len(c.Ns) == 0 {
+		return PaperNs
+	}
+	return c.Ns
+}
+
+// strideBVCases enumerates the four StrideBV series of Figures 4, 8, 10.
+var strideBVCases = []struct {
+	Label string
+	K     int
+	Mem   fpga.MemoryKind
+}{
+	{"distRAM, stride = 3", 3, fpga.DistRAM},
+	{"distRAM, stride = 4", 4, fpga.DistRAM},
+	{"BRAM, stride = 3", 3, fpga.BlockRAM},
+	{"BRAM, stride = 4", 4, fpga.BlockRAM},
+}
+
+func (c Config) evalStride(n, k int, mem fpga.MemoryKind, mode floorplan.Mode) (fpga.Report, error) {
+	cfg := fpga.StrideBVConfig{Ne: n, K: k, Memory: mem}
+	return fpga.EvaluateStrideBV(c.Device, cfg, mode, c.Seed)
+}
+
+// Fig4 regenerates Figure 4: throughput vs number of rules for the four
+// StrideBV variants and the FPGA TCAM.
+func Fig4(c Config) (*metrics.Figure, error) {
+	f := metrics.NewFigure("Fig 4: Throughput vs number of rules", "Gbps")
+	for _, cs := range strideBVCases {
+		s := f.AddSeries(cs.Label)
+		for _, n := range c.ns() {
+			r, err := c.evalStride(n, cs.K, cs.Mem, floorplan.Automatic)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s N=%d: %w", cs.Label, n, err)
+			}
+			s.Add(n, r.ThroughputGbps)
+		}
+	}
+	s := f.AddSeries("TCAM on FPGA")
+	for _, n := range c.ns() {
+		r, err := fpga.EvaluateTCAM(c.Device, fpga.TCAMConfig{Ne: n}, c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 tcam N=%d: %w", n, err)
+		}
+		s.Add(n, r.ThroughputGbps)
+	}
+	return f, nil
+}
+
+// planAheadFigure is the shared shape of Figures 5 and 6.
+func planAheadFigure(c Config, title string, k int, mem fpga.MemoryKind) (*metrics.Figure, error) {
+	f := metrics.NewFigure(title, "Gbps")
+	without := f.AddSeries("Without PlanAhead")
+	with := f.AddSeries("With PlanAhead")
+	for _, n := range c.ns() {
+		ra, err := c.evalStride(n, k, mem, floorplan.Automatic)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := c.evalStride(n, k, mem, floorplan.Floorplanned)
+		if err != nil {
+			return nil, err
+		}
+		without.Add(n, ra.ThroughputGbps)
+		with.Add(n, rf.ThroughputGbps)
+	}
+	return f, nil
+}
+
+// Fig5 regenerates Figure 5: distributed RAM, stride 4, with vs without
+// PlanAhead floorplanning.
+func Fig5(c Config) (*metrics.Figure, error) {
+	return planAheadFigure(c, "Fig 5: Throughput comparison, Distributed RAM, stride 4", 4, fpga.DistRAM)
+}
+
+// Fig6 regenerates Figure 6: block RAM, stride 3, with vs without
+// PlanAhead floorplanning.
+func Fig6(c Config) (*metrics.Figure, error) {
+	return planAheadFigure(c, "Fig 6: Throughput comparison, Block RAM, stride 3", 3, fpga.BlockRAM)
+}
+
+// Fig7 regenerates Figure 7: memory requirement vs number of rules.
+func Fig7(c Config) (*metrics.Figure, error) {
+	f := metrics.NewFigure("Fig 7: Memory vs number of rules", "Kbit")
+	s3 := f.AddSeries("StrideBV, stride = 3")
+	s4 := f.AddSeries("StrideBV, stride = 4")
+	st := f.AddSeries("TCAM on FPGA")
+	for _, n := range c.ns() {
+		s3.Add(n, float64(fpga.StrideBVConfig{Ne: n, K: 3}.MemoryBits())/1024)
+		s4.Add(n, float64(fpga.StrideBVConfig{Ne: n, K: 4}.MemoryBits())/1024)
+		st.Add(n, float64(tcam.MemoryBits(n, packet.W))/1024)
+	}
+	return f, nil
+}
+
+// Fig8 regenerates Figure 8: resource consumption (% slices) vs rules.
+func Fig8(c Config) (*metrics.Figure, error) {
+	f := metrics.NewFigure("Fig 8: Resource consumption vs number of rules", "% slices")
+	for _, cs := range strideBVCases {
+		s := f.AddSeries(cs.Label)
+		for _, n := range c.ns() {
+			res := fpga.StrideBVResources(c.Device, fpga.StrideBVConfig{Ne: n, K: cs.K, Memory: cs.Mem})
+			s.Add(n, res.Utilization(c.Device).SlicePct)
+		}
+	}
+	s := f.AddSeries("TCAM on FPGA")
+	for _, n := range c.ns() {
+		res := fpga.TCAMResources(c.Device, fpga.TCAMConfig{Ne: n})
+		s.Add(n, res.Utilization(c.Device).SlicePct)
+	}
+	return f, nil
+}
+
+// Fig9 regenerates Figure 9: % of BRAMs consumed by the BRAM-based
+// StrideBV builds.
+func Fig9(c Config) (*metrics.Figure, error) {
+	f := metrics.NewFigure("Fig 9: BRAMs consumed by StrideBV vs number of rules", "% BRAM")
+	for _, k := range []int{3, 4} {
+		s := f.AddSeries(fmt.Sprintf("stride = %d", k))
+		for _, n := range c.ns() {
+			res := fpga.StrideBVResources(c.Device, fpga.StrideBVConfig{Ne: n, K: k, Memory: fpga.BlockRAM})
+			s.Add(n, res.Utilization(c.Device).BRAMPct)
+		}
+	}
+	return f, nil
+}
+
+// Fig10 regenerates Figure 10: power per unit throughput vs rules.
+func Fig10(c Config) (*metrics.Figure, error) {
+	f := metrics.NewFigure("Fig 10: Power per unit throughput vs number of rules", "mW/Gbps")
+	for _, cs := range strideBVCases {
+		s := f.AddSeries(cs.Label)
+		for _, n := range c.ns() {
+			r, err := c.evalStride(n, cs.K, cs.Mem, floorplan.Automatic)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(n, r.PowerEffMWPerGbps)
+		}
+	}
+	s := f.AddSeries("TCAM on FPGA")
+	for _, n := range c.ns() {
+		r, err := fpga.EvaluateTCAM(c.Device, fpga.TCAMConfig{Ne: n}, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(n, r.PowerEffMWPerGbps)
+	}
+	return f, nil
+}
+
+// TableI renders the example classification ruleset of the paper's Table I.
+func TableI() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Table I: Example packet classification ruleset",
+		Headers: []string{"Source IP (SIP)", "Destination IP (DIP)", "Source Port (SP)", "Destination Port (DP)", "Protocol (PRT)", "Priority", "Action"},
+	}
+	for i, r := range ruleset.SampleRuleSet().Rules {
+		proto := "*"
+		if !r.Proto.Wildcard() {
+			switch r.Proto.Value {
+			case ruleset.ProtoTCP:
+				proto = "TCP"
+			case ruleset.ProtoUDP:
+				proto = "UDP"
+			case ruleset.ProtoICMP:
+				proto = "ICMP"
+			default:
+				proto = r.Proto.String()
+			}
+		}
+		t.AddRow(r.SIP.String(), r.DIP.String(), r.SP.String(), r.DP.String(),
+			proto, fmt.Sprint(i), r.Action.String())
+	}
+	return t
+}
+
+// TableII regenerates the cross-scheme performance comparison at N = 512:
+// memory (bytes/rule), throughput, and power efficiency for the four
+// StrideBV variants, the FPGA TCAM, and the three literature baselines.
+func TableII(c Config) (*metrics.Table, error) {
+	const n = 512
+	t := &metrics.Table{
+		Title:   "Table II: Performance comparison (N = 512, 5-field rules)",
+		Headers: []string{"Approach", "Memory (B/rule)", "Throughput (Gbps)", "Power Eff. (mW/Gbps)"},
+	}
+	names := []string{"StrideBV (k = 3) distRAM", "StrideBV (k = 4) distRAM",
+		"StrideBV (k = 3) BRAM", "StrideBV (k = 4) BRAM"}
+	for i, cs := range strideBVCases {
+		// Table II quotes each scheme's achievable numbers; for StrideBV
+		// that is the floorplanned implementation the paper advocates.
+		r, err := c.evalStride(n, cs.K, cs.Mem, floorplan.Floorplanned)
+		if err != nil {
+			return nil, err
+		}
+		order := map[string]int{"distRAM, stride = 3": 0, "distRAM, stride = 4": 1,
+			"BRAM, stride = 3": 2, "BRAM, stride = 4": 3}
+		t.AddRow(names[order[cs.Label]],
+			fmt.Sprintf("%.0f", r.BytesPerRule),
+			fmt.Sprintf("%.1f", r.ThroughputGbps),
+			fmt.Sprintf("%.1f", r.PowerEffMWPerGbps))
+		_ = i
+	}
+	rt, err := fpga.EvaluateTCAM(c.Device, fpga.TCAMConfig{Ne: n}, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("TCAM-FPGA",
+		fmt.Sprintf("%.0f", rt.BytesPerRule),
+		fmt.Sprintf("%.1f", rt.ThroughputGbps),
+		fmt.Sprintf("%.1f", rt.PowerEffMWPerGbps))
+
+	rs := ruleset.Generate(ruleset.GenConfig{N: n, Profile: ruleset.PrefixOnly, Seed: c.Seed, DefaultRule: true})
+	rows := []baseline.Metrics{
+		baseline.NewSSA(rs.Expand()).Metrics(),
+		baseline.BVTCAM(n),
+		baseline.B2PC(n),
+	}
+	for _, m := range rows {
+		t.AddRow(m.Name,
+			fmt.Sprintf("%.0f", m.BytesPerRule),
+			fmt.Sprintf("%.1f", m.ThroughputGbps),
+			fmt.Sprintf("%.1f", m.PowerEffMWPerGbps))
+	}
+	return t, nil
+}
+
+// ASICPower regenerates the Section IV-C ASIC TCAM power curve.
+func ASICPower(c Config) *metrics.Figure {
+	f := metrics.NewFigure("Sec IV-C: ASIC TCAM power model", "W")
+	s := f.AddSeries("ASIC TCAM")
+	for _, n := range c.ns() {
+		s.Add(n, tcam.ASICPowerModel(n))
+	}
+	return f
+}
+
+// VerifySummary cross-checks every engine against the linear reference on
+// a shared trace, returning a table of mismatch counts (all zeros on a
+// correct build). This is the functional-equivalence backbone behind every
+// hardware number reported above.
+func VerifySummary(c Config) (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   "Differential verification vs linear reference",
+		Headers: []string{"Engine", "Headers", "Mismatches"},
+	}
+	rs := ruleset.Generate(ruleset.GenConfig{N: 128, Profile: ruleset.FirewallProfile, Seed: c.Seed, DefaultRule: true})
+	ex := rs.Expand()
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 500, MatchFraction: 0.8, Seed: c.Seed + 1})
+	ref := core.NewLinear(rs)
+	var engines []core.Engine
+	engines = append(engines, tcam.NewBehavioral(ex))
+	for _, k := range []int{1, 3, 4} {
+		e, err := stridebv.New(ex, k)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, e)
+	}
+	re, err := stridebv.NewRange(rs, 4)
+	if err != nil {
+		return nil, err
+	}
+	engines = append(engines, re)
+	for _, eng := range engines {
+		ms := core.Verify(ref, eng, trace)
+		t.AddRow(eng.Name(), fmt.Sprint(len(trace)), fmt.Sprint(len(ms)))
+		if len(ms) > 0 {
+			return t, fmt.Errorf("experiments: %s failed verification: %s", eng.Name(), ms[0])
+		}
+	}
+	return t, nil
+}
+
+// RunAll executes every experiment and writes the rendered results.
+// markdown selects GitHub table output (for EXPERIMENTS.md) over plain
+// fixed-width text.
+func RunAll(c Config, w io.Writer, markdown bool) error {
+	emitFig := func(f *metrics.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		if markdown {
+			fmt.Fprintln(w, f.Markdown())
+		} else {
+			fmt.Fprintln(w, f)
+		}
+		return nil
+	}
+	emitTable := func(t *metrics.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if markdown {
+			fmt.Fprintln(w, t.Markdown())
+		} else {
+			fmt.Fprintln(w, t)
+		}
+		return nil
+	}
+	if err := emitTable(TableI(), nil); err != nil {
+		return err
+	}
+	if err := emitFig(Fig4(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig5(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig6(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig7(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig8(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig9(c)); err != nil {
+		return err
+	}
+	if err := emitFig(Fig10(c)); err != nil {
+		return err
+	}
+	if err := emitTable(TableII(c)); err != nil {
+		return err
+	}
+	if err := emitFig(ASICPower(c), nil); err != nil {
+		return err
+	}
+	if err := emitTable(VerifySummary(c)); err != nil {
+		return err
+	}
+	// Extensions beyond the paper (see extensions.go).
+	if err := emitFig(ExtMultiPipeline(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtFeatureDependence(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtPartitionedTCAM(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtUpdateRate(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtASIC(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtLatency(c)); err != nil {
+		return err
+	}
+	if err := emitFig(ExtModular(c)); err != nil {
+		return err
+	}
+	if err := emitTable(ExtDevices(c)); err != nil {
+		return err
+	}
+	return emitFig(AblationStride(c))
+}

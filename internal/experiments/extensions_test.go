@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtMultiPipelineReaches400G(t *testing.T) {
+	f, err := ExtMultiPipeline(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := f.Series[0]
+	copies := f.Series[1]
+	// Throughput grows with lanes and crosses 400 Gbps by 16 lanes —
+	// the paper's deferred "400G+" claim.
+	v16, ok := tput.At(16)
+	if !ok || v16 < 400 {
+		t.Fatalf("16 lanes reach only %.1f Gbps", v16)
+	}
+	v2, _ := tput.At(2)
+	if v16 <= v2 {
+		t.Fatal("throughput does not scale with lanes")
+	}
+	// Memory accounting: 6 lanes -> 3 copies (the paper's factor).
+	if c12, _ := copies.At(12); c12 != 6 {
+		t.Fatalf("12 lanes -> %v copies, want 6", c12)
+	}
+}
+
+func TestExtFeatureDependenceContrast(t *testing.T) {
+	tab, err := ExtFeatureDependence(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The engine columns must be identical across profiles; the tree
+	// column must vary.
+	tree := map[string]bool{}
+	sbv := map[string]bool{}
+	tc := map[string]bool{}
+	for _, row := range tab.Rows {
+		tree[row[1]] = true
+		sbv[row[2]] = true
+		tc[row[3]] = true
+	}
+	if len(sbv) != 1 || len(tc) != 1 {
+		t.Fatalf("feature-independent engines varied across profiles: %v %v", sbv, tc)
+	}
+	if len(tree) < 2 {
+		t.Fatalf("decision tree memory did not vary across profiles: %v", tree)
+	}
+}
+
+func TestExtPartitionedTCAM(t *testing.T) {
+	tab, err := ExtPartitionedTCAM(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The firewall profile must show a real saving factor.
+	var firewallSaving float64
+	for _, row := range tab.Rows {
+		if row[0] == "firewall" {
+			s := strings.TrimSuffix(row[3], "x")
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("bad saving cell %q", row[3])
+			}
+			firewallSaving = v
+		}
+	}
+	if firewallSaving < 2 {
+		t.Fatalf("firewall partition saving only %.1fx", firewallSaving)
+	}
+}
+
+func TestExtUpdateRate(t *testing.T) {
+	tab, err := ExtUpdateRate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "1.0" {
+		t.Fatalf("StrideBV port cycles/update = %s", tab.Rows[0][2])
+	}
+	if tab.Rows[1][2] != "16.0" {
+		t.Fatalf("TCAM port cycles/update = %s", tab.Rows[1][2])
+	}
+}
+
+func TestExtLatency(t *testing.T) {
+	c := Default()
+	c.Ns = []int{32, 512, 2048}
+	tab, err := ExtLatency(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// StrideBV latency in cycles: stages + ceil(log2 N): k=4 at N=512 ->
+	// 26 + 9 = 35.
+	if !strings.HasPrefix(tab.Rows[1][2], "35 /") {
+		t.Fatalf("k=4 N=512 latency cell %q", tab.Rows[1][2])
+	}
+	// k=3 at N=2048 -> 35 + 11 = 46.
+	if !strings.HasPrefix(tab.Rows[2][1], "46 /") {
+		t.Fatalf("k=3 N=2048 latency cell %q", tab.Rows[2][1])
+	}
+	// TCAM constant 3 cycles.
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[3], "3 /") {
+			t.Fatalf("TCAM latency cell %q", row[3])
+		}
+	}
+}
+
+func TestAblationStride(t *testing.T) {
+	f, err := AblationStride(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := f.Series[0]
+	stages := f.Series[1]
+	// Memory grows with k beyond the FSBV point (2^k/k); stages shrink.
+	m1, _ := mem.At(1)
+	m8, _ := mem.At(8)
+	if m8 <= m1 {
+		t.Fatalf("memory did not grow with stride: %v -> %v", m1, m8)
+	}
+	s1, _ := stages.At(1)
+	s8, _ := stages.At(8)
+	if s1 != 104 || s8 != 13 {
+		t.Fatalf("stage counts wrong: k=1 %v, k=8 %v", s1, s8)
+	}
+	// The paper's choice k in {3,4} balances: k=4 memory well below k=8.
+	m4, _ := mem.At(4)
+	if !(m4 < m8/4) {
+		t.Fatalf("k=4 memory %v not clearly below k=8 %v", m4, m8)
+	}
+}

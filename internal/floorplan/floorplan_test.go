@@ -1,0 +1,198 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNewDieGeometry(t *testing.T) {
+	d := NewDie(78000, 2000)
+	if d.Rows*d.Cols < 78000 {
+		t.Fatalf("die %dx%d too small for 78000 slices", d.Cols, d.Rows)
+	}
+	if d.BRAMCapacity() < 2000 {
+		t.Fatalf("BRAM capacity %d < 2000", d.BRAMCapacity())
+	}
+	if len(d.BRAMColumns) == 0 {
+		t.Fatal("no BRAM columns")
+	}
+	for _, x := range d.BRAMColumns {
+		if x < 0 || x >= d.Cols {
+			t.Fatalf("BRAM column %d outside die", x)
+		}
+	}
+	noBRAM := NewDie(1000, 0)
+	if noBRAM.BRAMCapacity() != 0 {
+		t.Fatal("zero-BRAM die has capacity")
+	}
+}
+
+func pipelineNetlist(stages, slicesPer, width int, brams int) *Netlist {
+	nl := &Netlist{}
+	prev := nl.AddBlock(Block{Name: "io", Slices: 4})
+	for s := 0; s < stages; s++ {
+		idx := nl.AddBlock(Block{Name: fmt.Sprintf("s%d", s), Slices: slicesPer, BRAMs: brams})
+		nl.Connect(Net{From: prev, To: idx, Width: width, Critical: s > 0})
+		prev = idx
+	}
+	return nl
+}
+
+func TestPlaceRejectsOversized(t *testing.T) {
+	die := NewDie(100, 0)
+	nl := pipelineNetlist(4, 1000, 8, 0)
+	if _, err := Place(nl, die, Automatic, 1); err == nil {
+		t.Fatal("accepted design larger than die")
+	}
+	die2 := NewDie(100000, 10)
+	nl2 := pipelineNetlist(4, 10, 8, 100)
+	if _, err := Place(nl2, die2, Automatic, 1); err == nil {
+		t.Fatal("accepted design exceeding BRAM capacity")
+	}
+	if _, err := Place(&Netlist{}, die, Automatic, 1); err == nil {
+		t.Fatal("accepted empty netlist")
+	}
+}
+
+func TestPlacementWithinRegion(t *testing.T) {
+	die := NewDie(78000, 2000)
+	nl := pipelineNetlist(26, 500, 1024, 0)
+	for _, mode := range []Mode{Automatic, Floorplanned} {
+		p, err := Place(nl, die, mode, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range nl.Blocks {
+			if p.X[i] < -1 || p.X[i] > float64(die.Cols)+1 ||
+				p.Y[i] < -1 || p.Y[i] > float64(die.Rows)*1.5 {
+				t.Fatalf("%v: block %d at (%f,%f) outside plausible area", mode, i, p.X[i], p.Y[i])
+			}
+		}
+		if len(p.NetLength) != len(nl.Nets) {
+			t.Fatalf("%v: %d net lengths for %d nets", mode, len(p.NetLength), len(nl.Nets))
+		}
+		for i, l := range p.NetLength {
+			if l <= 0 || math.IsNaN(l) {
+				t.Fatalf("%v: net %d length %f", mode, i, l)
+			}
+		}
+	}
+}
+
+func TestFloorplannedBeatsAutomatic(t *testing.T) {
+	// The core claim behind the paper's Figs 5-6: pipeline-aware placement
+	// shortens the critical stage-to-stage net.
+	die := NewDie(78000, 2000)
+	for _, stages := range []int{13, 26, 35} {
+		for _, slicesPer := range []int{100, 400, 1200} {
+			nl1 := pipelineNetlist(stages, slicesPer, 512, 0)
+			auto, err := Place(nl1, die, Automatic, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl2 := pipelineNetlist(stages, slicesPer, 512, 0)
+			fp, err := Place(nl2, die, Floorplanned, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp.CriticalLength() > auto.CriticalLength() {
+				t.Fatalf("stages=%d slices=%d: floorplanned crit %.1f > automatic %.1f",
+					stages, slicesPer, fp.CriticalLength(), auto.CriticalLength())
+			}
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	die := NewDie(78000, 2000)
+	for _, mode := range []Mode{Automatic, Floorplanned} {
+		a, err := Place(pipelineNetlist(20, 300, 256, 0), die, mode, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Place(pipelineNetlist(20, 300, 256, 0), die, mode, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.CriticalLength() != b.CriticalLength() || a.TotalWirelength() != b.TotalWirelength() {
+			t.Fatalf("%v: same seed produced different placements", mode)
+		}
+	}
+}
+
+func TestCriticalGrowsWithDesignSize(t *testing.T) {
+	die := NewDie(78000, 2000)
+	prev := 0.0
+	for _, slicesPer := range []int{50, 200, 800, 1600} {
+		p, err := Place(pipelineNetlist(26, slicesPer, 256, 0), die, Floorplanned, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.CriticalLength()
+		if c < prev {
+			t.Fatalf("critical length decreased with larger stages: %f -> %f", prev, c)
+		}
+		prev = c
+	}
+}
+
+func TestBRAMBlocksAddSpan(t *testing.T) {
+	die := NewDie(78000, 2000)
+	noBram, err := Place(pipelineNetlist(26, 400, 512, 0), die, Floorplanned, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBram, err := Place(pipelineNetlist(26, 400, 512, 29), die, Floorplanned, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBram.CriticalLength() <= noBram.CriticalLength() {
+		t.Fatalf("BRAM stages should lengthen nets: %f <= %f",
+			withBram.CriticalLength(), noBram.CriticalLength())
+	}
+}
+
+func TestFanoutTracked(t *testing.T) {
+	nl := &Netlist{}
+	a := nl.AddBlock(Block{Slices: 10})
+	b := nl.AddBlock(Block{Slices: 10})
+	nl.Connect(Net{From: a, To: b, Width: 8, Fanout: 512})
+	nl.Connect(Net{From: b, To: a, Width: 8}) // default fanout 1
+	p, err := Place(nl, NewDie(1000, 0), Automatic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxFanout() != 512 {
+		t.Fatalf("MaxFanout = %d", p.MaxFanout())
+	}
+	if nl.Nets[1].Fanout != 1 {
+		t.Fatalf("default fanout = %d", nl.Nets[1].Fanout)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	nl := pipelineNetlist(4, 100, 64, 3)
+	if nl.TotalSlices() != 4+400 {
+		t.Fatalf("TotalSlices = %d", nl.TotalSlices())
+	}
+	if nl.TotalBRAMs() != 12 {
+		t.Fatalf("TotalBRAMs = %d", nl.TotalBRAMs())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Automatic.String() != "automatic" || Floorplanned.String() != "floorplanned" {
+		t.Fatal("Mode.String wrong")
+	}
+}
+
+func BenchmarkPlaceFloorplanned(b *testing.B) {
+	die := NewDie(78000, 2000)
+	for i := 0; i < b.N; i++ {
+		nl := pipelineNetlist(26, 800, 1024, 0)
+		if _, err := Place(nl, die, Floorplanned, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the placement as an ASCII die map: each character cell
+// covers a (Cols/width × Rows/height) tile of the die; a tile shows the
+// block whose rectangle covers its center ('.' for empty fabric, '|' for
+// BRAM columns). Blocks are labeled 0-9 then a-z, cycling. This is the
+// textual equivalent of PlanAhead's floorplan view and makes the
+// automatic-vs-floorplanned difference visible directly.
+func (p *Placement) Render(width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	label := func(i int) byte {
+		const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+		return digits[i%len(digits)]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "die %dx%d slices, %d blocks, mode %s, critical %.1f\n",
+		p.Die.Cols, p.Die.Rows, len(p.Netlist.Blocks), p.Mode, p.CriticalLength())
+	for row := 0; row < height; row++ {
+		y := (float64(row) + 0.5) * float64(p.Die.Rows) / float64(height)
+		for col := 0; col < width; col++ {
+			x := (float64(col) + 0.5) * float64(p.Die.Cols) / float64(width)
+			c := byte('.')
+			for _, bx := range p.Die.BRAMColumns {
+				if abs(float64(bx)-x) < float64(p.Die.Cols)/float64(width)/2 {
+					c = '|'
+					break
+				}
+			}
+			for i := range p.Netlist.Blocks {
+				if abs(p.X[i]-x) <= p.SpanX[i]/2 && abs(p.Y[i]-y) <= p.SpanY[i]/2 {
+					c = label(i)
+					break
+				}
+			}
+			b.WriteByte(c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Summary lists per-block geometry and the longest nets — the data a
+// timing engineer reads off a placement.
+func (p *Placement) Summary(topNets int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement summary (%s): %d blocks, %d nets, critical %.1f, total WL %.0f\n",
+		p.Mode, len(p.Netlist.Blocks), len(p.Netlist.Nets), p.CriticalLength(), p.TotalWirelength())
+	type netInfo struct {
+		idx int
+		len float64
+	}
+	nets := make([]netInfo, len(p.NetLength))
+	for i, l := range p.NetLength {
+		nets[i] = netInfo{i, l}
+	}
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			if nets[j].len > nets[i].len {
+				nets[i], nets[j] = nets[j], nets[i]
+			}
+		}
+	}
+	if topNets > len(nets) {
+		topNets = len(nets)
+	}
+	for _, n := range nets[:topNets] {
+		net := p.Netlist.Nets[n.idx]
+		crit := ""
+		if net.Critical {
+			crit = " CRITICAL"
+		}
+		fmt.Fprintf(&b, "  net %-3d %s -> %s  len %.1f  width %d%s\n",
+			n.idx, p.Netlist.Blocks[net.From].Name, p.Netlist.Blocks[net.To].Name,
+			n.len, net.Width, crit)
+	}
+	return b.String()
+}

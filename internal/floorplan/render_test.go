@@ -1,0 +1,78 @@
+package floorplan
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	die := NewDie(78000, 2000)
+	nl := pipelineNetlist(10, 400, 256, 0)
+	p, err := Place(nl, die, Floorplanned, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render(60, 20)
+	if !strings.Contains(out, "floorplanned") {
+		t.Fatalf("mode missing:\n%s", out)
+	}
+	// Block labels and BRAM columns visible (block 0, a 4-slice IO stub,
+	// can be smaller than one tile; the stage blocks must show).
+	for _, c := range []string{"1", "2", "|", "."} {
+		if !strings.Contains(out, c) {
+			t.Fatalf("glyph %q missing:\n%s", c, out)
+		}
+	}
+	// Size floors.
+	tiny := p.Render(1, 1)
+	if strings.Count(tiny, "\n") < 5 {
+		t.Fatal("height floor not applied")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	die := NewDie(78000, 2000)
+	nl := pipelineNetlist(10, 400, 256, 0)
+	p, err := Place(nl, die, Automatic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Summary(5)
+	if !strings.Contains(out, "CRITICAL") {
+		t.Fatalf("no critical nets listed:\n%s", out)
+	}
+	if strings.Count(out, "net ") != 5 {
+		t.Fatalf("wrong net count:\n%s", out)
+	}
+	// Nets listed longest first.
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	prev := 1e18
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		// "... len <value> width ..."
+		var length float64
+		found := false
+		for i, f := range fields {
+			if f == "len" && i+1 < len(fields) {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", l, err)
+				}
+				length, found = v, true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no length in line %q", l)
+		}
+		if length > prev {
+			t.Fatalf("nets not sorted:\n%s", out)
+		}
+		prev = length
+	}
+	// topNets beyond the net count is clamped.
+	if s := p.Summary(10000); s == "" {
+		t.Fatal("clamped summary empty")
+	}
+}

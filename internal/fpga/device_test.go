@@ -1,0 +1,45 @@
+package fpga
+
+import "testing"
+
+func TestCatalogOrderedByCapacity(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 4 {
+		t.Fatalf("catalog has %d parts", len(cat))
+	}
+	for i := 1; i < len(cat); i++ {
+		if cat[i].Slices < cat[i-1].Slices {
+			t.Fatalf("catalog not ascending at %d: %d < %d", i, cat[i].Slices, cat[i-1].Slices)
+		}
+	}
+	for _, d := range cat {
+		if d.Name == "" || d.Slices <= 0 || d.BRAMBlocks <= 0 || d.DistRAMBits <= 0 {
+			t.Fatalf("incomplete catalog entry %+v", d)
+		}
+	}
+}
+
+func TestSmallestFitting(t *testing.T) {
+	d := Virtex7()
+	small := StrideBVResources(d, StrideBVConfig{Ne: 64, K: 4, Memory: DistRAM})
+	fit := SmallestFitting(small)
+	if fit == nil {
+		t.Fatal("64-entry engine fits nothing")
+	}
+	if fit.Slices > Catalog()[0].Slices {
+		t.Fatalf("small design placed on %s, not the smallest part", fit.Name)
+	}
+	big := StrideBVResources(d, StrideBVConfig{Ne: 2048, K: 3, Memory: BlockRAM})
+	fit = SmallestFitting(big)
+	if fit == nil {
+		t.Fatal("paper's worst case fits no catalog part")
+	}
+	if fit.BRAMBlocks < big.BRAMs {
+		t.Fatalf("selected %s lacks BRAM", fit.Name)
+	}
+	// An absurd design fits nothing.
+	huge := StrideBVResources(d, StrideBVConfig{Ne: 1 << 17, K: 3, Memory: DistRAM})
+	if SmallestFitting(huge) != nil {
+		t.Fatal("2^17-entry design claimed to fit a catalog part")
+	}
+}

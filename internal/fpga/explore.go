@@ -1,0 +1,134 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+
+	"pktclass/internal/floorplan"
+)
+
+// Design-space exploration: enumerate every engine configuration for a
+// ruleset size, evaluate each through the models, and filter against
+// deployment constraints. This is the decision procedure the paper's
+// comparison exists to inform, packaged as a library.
+
+// Constraint is a deployment requirement. Zero values mean "unbounded".
+type Constraint struct {
+	MinGbps     float64
+	MaxWatts    float64
+	MaxSlicePct float64
+	MaxBRAMPct  float64
+}
+
+// Option is one evaluated configuration.
+type Option struct {
+	Name   string
+	Report Report
+	// Meets is true when every constraint holds; Reason explains the
+	// first violated constraint otherwise.
+	Meets  bool
+	Reason string
+}
+
+// check fills Meets/Reason from the constraint.
+func (o *Option) check(c Constraint) {
+	r := o.Report
+	switch {
+	case c.MinGbps > 0 && r.ThroughputGbps < c.MinGbps:
+		o.Reason = fmt.Sprintf("throughput %.1f < %.1f Gbps", r.ThroughputGbps, c.MinGbps)
+	case c.MaxWatts > 0 && r.Power.TotalW > c.MaxWatts:
+		o.Reason = fmt.Sprintf("power %.2f > %.2f W", r.Power.TotalW, c.MaxWatts)
+	case c.MaxSlicePct > 0 && r.Utilization.SlicePct > c.MaxSlicePct:
+		o.Reason = fmt.Sprintf("slices %.1f%% > %.1f%%", r.Utilization.SlicePct, c.MaxSlicePct)
+	case c.MaxBRAMPct > 0 && r.Utilization.BRAMPct > c.MaxBRAMPct:
+		o.Reason = fmt.Sprintf("BRAM %.1f%% > %.1f%%", r.Utilization.BRAMPct, c.MaxBRAMPct)
+	default:
+		o.Meets = true
+	}
+}
+
+// ExploreConfig bounds the enumeration.
+type ExploreConfig struct {
+	Ne   int
+	Seed int64
+	// Strides to consider (default {3,4}); Lanes to consider for
+	// multi-lane variants (default {2}; 2 lanes = one dual-ported copy,
+	// the paper's baseline).
+	Strides []int
+	Lanes   []int
+	// IncludeTCAM adds the FPGA TCAM to the space.
+	IncludeTCAM bool
+}
+
+// Explore evaluates the whole space and returns options sorted by power
+// efficiency (best first), constraint check applied.
+func Explore(d Device, ec ExploreConfig, cons Constraint) ([]Option, error) {
+	if ec.Ne < 1 {
+		return nil, fmt.Errorf("fpga: explore with Ne=%d", ec.Ne)
+	}
+	strides := ec.Strides
+	if len(strides) == 0 {
+		strides = []int{3, 4}
+	}
+	lanes := ec.Lanes
+	if len(lanes) == 0 {
+		lanes = []int{2}
+	}
+	var out []Option
+	for _, k := range strides {
+		for _, mem := range []MemoryKind{DistRAM, BlockRAM} {
+			for _, mode := range []floorplan.Mode{floorplan.Automatic, floorplan.Floorplanned} {
+				for _, l := range lanes {
+					base := StrideBVConfig{Ne: ec.Ne, K: k, Memory: mem}
+					var rep Report
+					var err error
+					name := fmt.Sprintf("stridebv k=%d %s %s", k, mem, mode)
+					if l <= 2 {
+						rep, err = EvaluateStrideBV(d, base, mode, ec.Seed)
+					} else {
+						name = fmt.Sprintf("%s x%d lanes", name, l)
+						rep, err = EvaluateStrideBVMulti(d, MultiConfig{Base: base, Lanes: l}, mode, ec.Seed)
+					}
+					if err != nil {
+						// Configurations that do not fit the device are
+						// reported as non-viable options, not dropped.
+						out = append(out, Option{Name: name, Reason: err.Error()})
+						continue
+					}
+					o := Option{Name: name, Report: rep}
+					o.check(cons)
+					out = append(out, o)
+				}
+			}
+		}
+	}
+	if ec.IncludeTCAM {
+		rep, err := EvaluateTCAM(d, TCAMConfig{Ne: ec.Ne}, ec.Seed)
+		if err != nil {
+			out = append(out, Option{Name: "tcam-fpga", Reason: err.Error()})
+		} else {
+			o := Option{Name: "tcam-fpga", Report: rep}
+			o.check(cons)
+			out = append(out, o)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		// Viable options first, then by power efficiency.
+		oi, oj := out[i], out[j]
+		if oi.Meets != oj.Meets {
+			return oi.Meets
+		}
+		return oi.Report.PowerEffMWPerGbps < oj.Report.PowerEffMWPerGbps
+	})
+	return out, nil
+}
+
+// Best returns the first option meeting the constraints, or nil.
+func Best(options []Option) *Option {
+	for i := range options {
+		if options[i].Meets {
+			return &options[i]
+		}
+	}
+	return nil
+}

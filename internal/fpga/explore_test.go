@@ -1,0 +1,127 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreBasics(t *testing.T) {
+	d := Virtex7()
+	opts, err := Explore(d, ExploreConfig{Ne: 512, Seed: 1, IncludeTCAM: true},
+		Constraint{MinGbps: 80, MaxWatts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 strides x 2 memories x 2 modes x 1 lane-set + tcam = 9 options.
+	if len(opts) != 9 {
+		t.Fatalf("%d options", len(opts))
+	}
+	best := Best(opts)
+	if best == nil {
+		t.Fatal("no viable option at a modest requirement")
+	}
+	if !strings.Contains(best.Name, "distram") {
+		t.Fatalf("best = %s; expected a distRAM build", best.Name)
+	}
+	// Sorted: viable first, ascending power cost.
+	seenNonViable := false
+	lastEff := 0.0
+	for _, o := range opts {
+		if !o.Meets {
+			seenNonViable = true
+			if o.Reason == "" {
+				t.Fatalf("non-viable option %s lacks a reason", o.Name)
+			}
+			continue
+		}
+		if seenNonViable {
+			t.Fatal("viable option after non-viable in sort order")
+		}
+		if o.Report.PowerEffMWPerGbps < lastEff {
+			t.Fatal("viable options not sorted by power efficiency")
+		}
+		lastEff = o.Report.PowerEffMWPerGbps
+	}
+	// TCAM cannot meet 80 Gbps.
+	for _, o := range opts {
+		if o.Name == "tcam-fpga" && o.Meets {
+			t.Fatal("TCAM claimed to meet 80 Gbps")
+		}
+	}
+}
+
+func TestExploreConstraintKinds(t *testing.T) {
+	d := Virtex7()
+	// Impossible power budget: nothing viable.
+	opts, err := Explore(d, ExploreConfig{Ne: 512, Seed: 1}, Constraint{MaxWatts: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Best(opts) != nil {
+		t.Fatal("an option met a 10 mW budget")
+	}
+	// BRAM ceiling knocks out BRAM builds only.
+	opts, err = Explore(d, ExploreConfig{Ne: 2048, Seed: 1}, Constraint{MaxBRAMPct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		isBRAM := strings.Contains(o.Name, "bram")
+		if isBRAM && o.Meets {
+			t.Fatalf("%s meets a 10%% BRAM cap", o.Name)
+		}
+		if !isBRAM && !o.Meets {
+			t.Fatalf("%s unexpectedly non-viable: %s", o.Name, o.Reason)
+		}
+	}
+	// Slice ceiling.
+	opts, err = Explore(d, ExploreConfig{Ne: 2048, Seed: 1}, Constraint{MaxSlicePct: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCut := false
+	for _, o := range opts {
+		if !o.Meets && strings.Contains(o.Reason, "slices") {
+			anyCut = true
+		}
+	}
+	if !anyCut {
+		t.Fatal("slice cap cut nothing at N=2048")
+	}
+}
+
+func TestExploreMultiLane(t *testing.T) {
+	d := Virtex7()
+	opts, err := Explore(d, ExploreConfig{Ne: 512, Seed: 1, Strides: []int{4}, Lanes: []int{2, 8}},
+		Constraint{MinGbps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := Best(opts)
+	if best == nil {
+		t.Fatal("no option reaches 400 Gbps with 8 lanes available")
+	}
+	if !strings.Contains(best.Name, "x8 lanes") {
+		t.Fatalf("best for 400G = %s", best.Name)
+	}
+	if _, err := Explore(d, ExploreConfig{Ne: 0}, Constraint{}); err == nil {
+		t.Fatal("accepted Ne=0")
+	}
+}
+
+func TestExploreReportsUnfittable(t *testing.T) {
+	d := Virtex7()
+	opts, err := Explore(d, ExploreConfig{Ne: 4096, Seed: 1, Strides: []int{3}}, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOverflow := false
+	for _, o := range opts {
+		if strings.Contains(o.Name, "bram") && !o.Meets {
+			foundOverflow = true
+		}
+	}
+	if !foundOverflow {
+		t.Fatal("4096-entry k=3 BRAM build should overflow the device")
+	}
+}

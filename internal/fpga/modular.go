@@ -1,0 +1,77 @@
+package fpga
+
+import (
+	"fmt"
+
+	"pktclass/internal/floorplan"
+)
+
+// ModularConfig is the partitioned-vector StrideBV organization (see
+// stridebv.Modular): Ne entries split into ceil(Ne/ModuleWidth) modules,
+// each an independent pipeline over ModuleWidth-bit stage words. Total
+// stage memory is unchanged; the stage buses shrink to the module width,
+// which is what restores the clock at large Ne.
+type ModularConfig struct {
+	Ne          int
+	K           int
+	Memory      MemoryKind
+	ModuleWidth int
+}
+
+// Modules returns the partition count.
+func (m ModularConfig) Modules() int { return (m.Ne + m.ModuleWidth - 1) / m.ModuleWidth }
+
+// EvaluateStrideBVModular reports the hardware model of the modular
+// organization: per-module resources replicated, placement of all module
+// chains plus the cross-module select, dual-port throughput (all modules
+// see the same two packets per cycle).
+func EvaluateStrideBVModular(d Device, m ModularConfig, mode floorplan.Mode, seed int64) (Report, error) {
+	if m.Ne < 1 || m.ModuleWidth < 1 {
+		return Report{}, fmt.Errorf("fpga: modular config %+v invalid", m)
+	}
+	if m.ModuleWidth > m.Ne {
+		m.ModuleWidth = m.Ne
+	}
+	base := StrideBVConfig{Ne: m.ModuleWidth, K: m.K, Memory: m.Memory}
+	// Geometry: the module chains place exactly like lane copies of a
+	// ModuleWidth-wide pipeline (plus the select tree, folded into IO).
+	multi := MultiConfig{Base: base, Lanes: 2 * m.Modules()}
+	res := StrideBVMultiResources(d, multi)
+	res.MemoryBits = StrideBVConfig{Ne: m.Ne, K: m.K, Memory: m.Memory}.MemoryBits()
+	res.IOBs = classifierIOBs(m.Ne)
+	if err := res.Fits(d); err != nil {
+		return Report{}, err
+	}
+	nl := StrideBVMultiNetlist(d, multi)
+	pl, err := floorplan.Place(nl, NewDieFor(d), mode, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	logic := tLogicDistNS
+	if m.Memory == BlockRAM {
+		logic = tLogicBRAMNS
+	}
+	t := timingFromPlacement(pl, logic, d.ClockCapMHz)
+	single := StrideBVPower(d, base, pl, t.ClockMHz)
+	pw := Power{
+		StaticW: single.StaticW,
+		LogicW:  single.LogicW * float64(m.Modules()),
+		MemW:    single.MemW * float64(m.Modules()),
+		NetW:    single.NetW,
+	}
+	pw.TotalW = pw.StaticW + pw.LogicW + pw.MemW + pw.NetW
+	tp := ThroughputGbps(t.ClockMHz, 2) // dual port, one packet stream
+	return Report{
+		Label:             fmt.Sprintf("stridebv modular m=%d (%s, k=%d, N=%d, %s)", m.ModuleWidth, m.Memory, m.K, m.Ne, mode),
+		Device:            d,
+		Resources:         res,
+		Utilization:       res.Utilization(d),
+		Timing:            t,
+		Power:             pw,
+		ThroughputGbps:    tp,
+		MemoryKbit:        float64(res.MemoryBits) / 1024,
+		BytesPerRule:      float64(res.MemoryBits) / 8 / float64(m.Ne),
+		PowerEffMWPerGbps: pw.EfficiencyMilli(tp),
+		Placement:         pl,
+	}, nil
+}

@@ -1,0 +1,125 @@
+package fpga
+
+import (
+	"fmt"
+
+	"pktclass/internal/floorplan"
+	"pktclass/internal/packet"
+	"pktclass/internal/penc"
+)
+
+// MultiConfig is the multi-lane StrideBV deployment the paper defers to
+// future work ("can be done to achieve 400G+ throughput"): Lanes packet
+// lanes, two lanes sharing one dual-ported stage-memory copy, so the
+// design instantiates ceil(Lanes/2) pipeline copies.
+type MultiConfig struct {
+	Base  StrideBVConfig
+	Lanes int
+}
+
+// Copies returns the pipeline/memory instance count.
+func (m MultiConfig) Copies() int { return (m.Lanes + 1) / 2 }
+
+// MemoryBits returns the total stage-memory bits across copies — the
+// Section V-B multiplication-factor accounting.
+func (m MultiConfig) MemoryBits() int { return m.Base.MemoryBits() * m.Copies() }
+
+// StrideBVMultiNetlist replicates the pipeline netlist per memory copy.
+// Copies are independent except for the shared I/O distributor, which
+// fans the lanes out.
+func StrideBVMultiNetlist(d Device, m MultiConfig) *floorplan.Netlist {
+	stages := m.Base.Stages()
+	res := StrideBVResources(d, m.Base)
+	peSlices := packSlices(d, 2*m.Base.Ne, 2*m.Base.Ne*(penc.Stages(maxInt(m.Base.Ne, 2))+2))
+	stageSlices := (res.Slices - peSlices) / stages
+	if stageSlices < 1 {
+		stageSlices = 1
+	}
+	nl := &floorplan.Netlist{}
+	io := nl.AddBlock(floorplan.Block{Name: "io", Slices: 16})
+	for c := 0; c < m.Copies(); c++ {
+		prev := io
+		for s := 0; s < stages; s++ {
+			b := floorplan.Block{Name: fmt.Sprintf("c%d.stage%d", c, s), Slices: stageSlices}
+			if m.Base.Memory == BlockRAM {
+				b.BRAMs = m.Base.BRAMsPerStage(d)
+			}
+			idx := nl.AddBlock(b)
+			width := packet.W
+			if s > 0 {
+				width = m.Base.Ne + packet.W
+			}
+			nl.Connect(floorplan.Net{From: prev, To: idx, Width: width, Critical: s > 0})
+			prev = idx
+		}
+		pe := nl.AddBlock(floorplan.Block{Name: fmt.Sprintf("c%d.ppe", c), Slices: peSlices})
+		nl.Connect(floorplan.Net{From: prev, To: pe, Width: m.Base.Ne / 2, Critical: true})
+		nl.Connect(floorplan.Net{From: pe, To: io, Width: bitsFor(m.Base.Ne) + 1})
+	}
+	return nl
+}
+
+// StrideBVMultiResources scales the single-pipeline estimate by the copy
+// count (plus the small shared distributor).
+func StrideBVMultiResources(d Device, m MultiConfig) Resources {
+	r := StrideBVResources(d, m.Base)
+	c := m.Copies()
+	r.LUTs *= c
+	r.FFs *= c
+	r.MemLUTs *= c
+	r.BRAMs *= c
+	r.Slices = r.Slices*c + 16
+	r.MemoryBits *= c
+	// One set of header pins per lane; results multiplexed.
+	r.IOBs = m.Lanes*packet.W/2 + bitsFor(m.Base.Ne) + 9
+	if r.IOBs > d.IOBs {
+		r.IOBs = d.IOBs // pin-limited designs serialize input externally
+	}
+	return r
+}
+
+// EvaluateStrideBVMulti produces the full report for a multi-lane build.
+// Throughput is Lanes packets per cycle at the placed clock.
+func EvaluateStrideBVMulti(d Device, m MultiConfig, mode floorplan.Mode, seed int64) (Report, error) {
+	if m.Lanes < 1 {
+		return Report{}, fmt.Errorf("fpga: lane count %d", m.Lanes)
+	}
+	res := StrideBVMultiResources(d, m)
+	if err := res.Fits(d); err != nil {
+		return Report{}, err
+	}
+	nl := StrideBVMultiNetlist(d, m)
+	pl, err := floorplan.Place(nl, NewDieFor(d), mode, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	logic := tLogicDistNS
+	if m.Base.Memory == BlockRAM {
+		logic = tLogicBRAMNS
+	}
+	t := timingFromPlacement(pl, logic, d.ClockCapMHz)
+	// Power: per-copy pipeline power plus shared overheads; scale the
+	// single-copy dynamic terms by the copy count at the placed clock.
+	single := StrideBVPower(d, m.Base, pl, t.ClockMHz)
+	pw := Power{
+		StaticW: single.StaticW,
+		LogicW:  single.LogicW * float64(m.Copies()),
+		MemW:    single.MemW * float64(m.Copies()),
+		NetW:    single.NetW, // placement wirelength already covers all copies
+	}
+	pw.TotalW = pw.StaticW + pw.LogicW + pw.MemW + pw.NetW
+	tp := ThroughputGbps(t.ClockMHz, m.Lanes)
+	return Report{
+		Label:             fmt.Sprintf("stridebv x%d lanes (%s, k=%d, %s)", m.Lanes, m.Base.Memory, m.Base.K, mode),
+		Device:            d,
+		Resources:         res,
+		Utilization:       res.Utilization(d),
+		Timing:            t,
+		Power:             pw,
+		ThroughputGbps:    tp,
+		MemoryKbit:        float64(m.MemoryBits()) / 1024,
+		BytesPerRule:      float64(m.MemoryBits()) / 8 / float64(m.Base.Ne),
+		PowerEffMWPerGbps: pw.EfficiencyMilli(tp),
+		Placement:         pl,
+	}, nil
+}

@@ -1,0 +1,108 @@
+package fpga
+
+import (
+	"math"
+
+	"pktclass/internal/floorplan"
+)
+
+// Power model constants (XPower-style). Dynamic power is energy per clock
+// cycle times frequency; each term maps to a resource class the paper's
+// Figure 10 discussion names. Values are calibrated to the paper's ratios
+// (BRAM k=3 ≈4.5× and k=4 ≈3.5× worse W/Gbps than distRAM; TCAM far worse
+// than distRAM StrideBV) at the Virtex-7 scale of a few watts.
+const (
+	// deviceStaticW is the Virtex-7 static (leakage) power.
+	deviceStaticW = 0.25
+	// eSliceTogglePJ: dynamic energy of one active slice per cycle at the
+	// default toggle activity.
+	eSliceTogglePJ = 2.0
+	// eDistReadPerBitPJ: distributed-RAM read energy per bit per port.
+	eDistReadPerBitPJ = 0.19
+	// eBRAMPortAccessPJ: energy of one BRAM port access. A block burns
+	// this regardless of how many of its output bits the design uses —
+	// the minimum-block waste the paper observes at strides 3 and 4.
+	eBRAMPortAccessPJ = 60.0
+	// eWirePerUnitBitPJ: interconnect energy per slice-unit of net length
+	// per signal bit toggled.
+	eWirePerUnitBitPJ = 0.0075
+	// eTCAMCellPJ: one SRL16E ternary cell compare. Every cell in every
+	// entry switches on every search — the "all entries active" property
+	// that makes CAM power high.
+	eTCAMCellPJ = 1.35
+	// defaultActivity is the toggle rate of ordinary pipeline logic.
+	defaultActivity = 0.25
+)
+
+// Power is the decomposed power estimate for a running configuration.
+type Power struct {
+	StaticW float64
+	LogicW  float64
+	MemW    float64 // distributed or block RAM access power
+	NetW    float64 // interconnect
+	TotalW  float64
+}
+
+// Efficiency returns the paper's Figure 10 metric in watts per Gbps.
+func (p Power) Efficiency(throughputGbps float64) float64 {
+	if throughputGbps <= 0 {
+		return math.Inf(1)
+	}
+	return p.TotalW / throughputGbps
+}
+
+// EfficiencyMilli returns milliwatts per Gbps (Fig 10 axis units).
+func (p Power) EfficiencyMilli(throughputGbps float64) float64 {
+	return 1000 * p.Efficiency(throughputGbps)
+}
+
+const pJtoW = 1e-12 // pJ per cycle × MHz×1e6 = W
+
+// StrideBVPower estimates power for a placed StrideBV configuration at the
+// given clock.
+func StrideBVPower(d Device, c StrideBVConfig, pl *floorplan.Placement, clockMHz float64) Power {
+	res := StrideBVResources(d, c)
+	f := clockMHz * 1e6
+	stages := float64(c.Stages())
+	ne := float64(c.Ne)
+
+	logic := float64(res.Slices) * eSliceTogglePJ * defaultActivity
+	var mem float64
+	switch c.Memory {
+	case DistRAM:
+		// Two ports read an Ne-bit word per stage per cycle.
+		mem = stages * 2 * ne * eDistReadPerBitPJ
+	case BlockRAM:
+		blocks := float64(c.BRAMsPerStage(d))
+		mem = stages * blocks * 2 * eBRAMPortAccessPJ
+	}
+	net := pl.TotalWirelength() * eWirePerUnitBitPJ * defaultActivity
+	p := Power{
+		StaticW: deviceStaticW,
+		LogicW:  logic * pJtoW * f,
+		MemW:    mem * pJtoW * f,
+		NetW:    net * pJtoW * f,
+	}
+	p.TotalW = p.StaticW + p.LogicW + p.MemW + p.NetW
+	return p
+}
+
+// TCAMPower estimates power for the placed SRL16E TCAM at the given clock.
+// Unlike the StrideBV pipeline, where a cycle touches one word per stage,
+// a TCAM search activates every stored cell, so dynamic power scales with
+// the full entry count.
+func TCAMPower(d Device, c TCAMConfig, pl *floorplan.Placement, clockMHz float64) Power {
+	res := TCAMResources(d, c)
+	f := clockMHz * 1e6
+	cells := float64(c.Ne) * 52
+	logic := float64(res.Slices)*eSliceTogglePJ*defaultActivity + cells*eTCAMCellPJ
+	net := pl.TotalWirelength() * eWirePerUnitBitPJ // broadcast toggles fully
+	p := Power{
+		StaticW: deviceStaticW,
+		LogicW:  logic * pJtoW * f,
+		MemW:    0,
+		NetW:    net * pJtoW * f,
+	}
+	p.TotalW = p.StaticW + p.LogicW + p.MemW + p.NetW
+	return p
+}

@@ -1,0 +1,99 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+
+	"pktclass/internal/floorplan"
+)
+
+// Report is the full post-place-and-route style evaluation of one engine
+// configuration — everything the paper's figures plot.
+type Report struct {
+	Label          string
+	Device         Device
+	Resources      Resources
+	Utilization    Utilization
+	Timing         Timing
+	Power          Power
+	ThroughputGbps float64
+	MemoryKbit     float64
+	// BytesPerRule is Table II's memory-efficiency metric.
+	BytesPerRule float64
+	// PowerEffMWPerGbps is Figure 10's metric.
+	PowerEffMWPerGbps float64
+	Placement         *floorplan.Placement
+}
+
+// EvaluateStrideBV produces the full report for a StrideBV configuration.
+func EvaluateStrideBV(d Device, c StrideBVConfig, mode floorplan.Mode, seed int64) (Report, error) {
+	t, pl, err := StrideBVTiming(d, c, mode, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res := StrideBVResources(d, c)
+	if err := res.Fits(d); err != nil {
+		return Report{}, err
+	}
+	pw := StrideBVPower(d, c, pl, t.ClockMHz)
+	tp := ThroughputGbps(t.ClockMHz, 2)
+	return Report{
+		Label:             fmt.Sprintf("%s (%s)", c, mode),
+		Device:            d,
+		Resources:         res,
+		Utilization:       res.Utilization(d),
+		Timing:            t,
+		Power:             pw,
+		ThroughputGbps:    tp,
+		MemoryKbit:        float64(res.MemoryBits) / 1024,
+		BytesPerRule:      float64(res.MemoryBits) / 8 / float64(c.Ne),
+		PowerEffMWPerGbps: pw.EfficiencyMilli(tp),
+		Placement:         pl,
+	}, nil
+}
+
+// EvaluateTCAM produces the full report for an FPGA TCAM configuration.
+// TCAM searches one packet per cycle (single search port).
+func EvaluateTCAM(d Device, c TCAMConfig, seed int64) (Report, error) {
+	t, pl, err := TCAMTiming(d, c, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	res := TCAMResources(d, c)
+	if err := res.Fits(d); err != nil {
+		return Report{}, err
+	}
+	pw := TCAMPower(d, c, pl, t.ClockMHz)
+	tp := ThroughputGbps(t.ClockMHz, 1)
+	return Report{
+		Label:             fmt.Sprintf("tcam-fpga N=%d", c.Ne),
+		Device:            d,
+		Resources:         res,
+		Utilization:       res.Utilization(d),
+		Timing:            t,
+		Power:             pw,
+		ThroughputGbps:    tp,
+		MemoryKbit:        float64(res.MemoryBits) / 1024,
+		BytesPerRule:      float64(res.MemoryBits) / 8 / float64(c.Ne),
+		PowerEffMWPerGbps: pw.EfficiencyMilli(tp),
+		Placement:         pl,
+	}, nil
+}
+
+// String renders a human-readable report block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s\n", r.Label, r.Device.Name)
+	fmt.Fprintf(&b, "  clock     %.1f MHz (logic %.2f ns + net %.2f ns + fanout %.2f ns, congestion %.2fx)\n",
+		r.Timing.ClockMHz, r.Timing.LogicNS, r.Timing.NetNS, r.Timing.FanoutNS, r.Timing.Congestion)
+	fmt.Fprintf(&b, "  throughput %.1f Gbps\n", r.ThroughputGbps)
+	fmt.Fprintf(&b, "  memory    %.0f Kbit (%.1f B/rule)\n", r.MemoryKbit, r.BytesPerRule)
+	fmt.Fprintf(&b, "  slices    %d (%.1f%%)  BRAM %d (%.1f%%)  IOB %d (%.1f%%)\n",
+		r.Resources.Slices, r.Utilization.SlicePct,
+		r.Resources.BRAMs, r.Utilization.BRAMPct,
+		r.Resources.IOBs, r.Utilization.IOBPct)
+	fmt.Fprintf(&b, "  power     %.2f W (logic %.2f, mem %.2f, net %.2f, static %.2f) = %.1f mW/Gbps\n",
+		r.Power.TotalW, r.Power.LogicW, r.Power.MemW, r.Power.NetW, r.Power.StaticW,
+		r.PowerEffMWPerGbps)
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"pktclass/internal/floorplan"
+	"pktclass/internal/packet"
+	"pktclass/internal/penc"
+)
+
+// Timing model constants. These are the calibration points of the
+// simulation (see DESIGN.md §5): logic delays come from Virtex-7 -2
+// datasheet-scale numbers, the wire delay per slice unit and congestion
+// coefficients are fitted so the model reproduces the paper's reported
+// shapes (StrideBV distRAM ≈6× TCAM throughput, BRAM ≈4×, distRAM ≈1.3×
+// BRAM, floorplanning ≈1.5× at N=1024).
+const (
+	// tLogicDistNS: LUT-RAM read + AND + register setup per stage.
+	tLogicDistNS = 3.0
+	// tLogicBRAMNS: BRAM clock-to-out is slower than LUT RAM.
+	tLogicBRAMNS = 3.6
+	// tLogicTCAMNS: SRL16E read + 3-level match reduce + PE mux, plus the
+	// control-block mux on the search path.
+	tLogicTCAMNS = 8.5
+	// tWirePerUnitNS: routed delay per slice-unit of net length.
+	tWirePerUnitNS = 0.02
+	// tFanoutPerLevelNS: buffer-tree delay per doubling of net fanout.
+	tFanoutPerLevelNS = 0.7
+	// congestionBeta scales delay by routing demand (width-weighted
+	// wirelength per unit of used area).
+	congestionBeta = 0.0010
+)
+
+// Timing is the clock estimate for one placed configuration.
+type Timing struct {
+	ClockMHz       float64
+	PeriodNS       float64
+	LogicNS        float64
+	NetNS          float64
+	FanoutNS       float64
+	Congestion     float64 // multiplicative factor >= 1
+	CriticalLength float64 // slice units
+}
+
+// ThroughputGbps converts a clock into the paper's throughput metric:
+// ports × f × 320-bit minimum packets.
+func ThroughputGbps(clockMHz float64, ports int) float64 {
+	return clockMHz * 1e6 * float64(ports) * packet.MinPacketBits / 1e9
+}
+
+// clusterTarget keeps netlists at a block granularity the placer handles
+// well: large structures are grouped into at most this many blocks.
+const clusterTarget = 32
+
+// StrideBVNetlist builds the placement netlist of a StrideBV pipeline:
+// one block per stage (logic + its stage memory), two PPE blocks, and an
+// I/O block; stage-to-stage buses are the critical nets.
+func StrideBVNetlist(d Device, c StrideBVConfig) *floorplan.Netlist {
+	stages := c.Stages()
+	res := StrideBVResources(d, c)
+	// Split the PE share out of the totals: per-stage slices drive spans.
+	peSlices := packSlices(d, 2*c.Ne, 2*c.Ne*(penc.Stages(maxInt(c.Ne, 2))+2))
+	stageSlices := (res.Slices - peSlices) / stages
+	if stageSlices < 1 {
+		stageSlices = 1
+	}
+	nl := &floorplan.Netlist{}
+	io := nl.AddBlock(floorplan.Block{Name: "io", Slices: 8})
+	prev := io
+	for s := 0; s < stages; s++ {
+		b := floorplan.Block{Name: fmt.Sprintf("stage%d", s), Slices: stageSlices}
+		if c.Memory == BlockRAM {
+			b.BRAMs = c.BRAMsPerStage(d)
+		}
+		idx := nl.AddBlock(b)
+		width := packet.W
+		if s > 0 {
+			width = c.Ne + packet.W
+		}
+		nl.Connect(floorplan.Net{From: prev, To: idx, Width: width, Critical: s > 0})
+		prev = idx
+	}
+	for port := 0; port < 2; port++ {
+		pe := nl.AddBlock(floorplan.Block{Name: fmt.Sprintf("ppe%d", port), Slices: peSlices / 2})
+		nl.Connect(floorplan.Net{From: prev, To: pe, Width: c.Ne / 2, Critical: true})
+		nl.Connect(floorplan.Net{From: pe, To: io, Width: bitsFor(c.Ne) + 1})
+	}
+	return nl
+}
+
+// TCAMNetlist builds the placement netlist of the SRL16E TCAM: the entry
+// array grouped into clusters, an I/O/control block broadcasting the
+// 104-bit search key to every cluster (the high-fanout net the paper blames
+// for the low clock), and a priority-encoder block gathering all match
+// lines.
+func TCAMNetlist(d Device, c TCAMConfig) *floorplan.Netlist {
+	res := TCAMResources(d, c)
+	clusters := clusterTarget
+	if c.Ne < clusters {
+		clusters = c.Ne
+	}
+	entriesPer := (c.Ne + clusters - 1) / clusters
+	sliceShare := res.Slices / clusters
+	nl := &floorplan.Netlist{}
+	io := nl.AddBlock(floorplan.Block{Name: "io", Slices: 16})
+	pe := nl.AddBlock(floorplan.Block{Name: "pe", Slices: maxInt(packSlices(d, 2*c.Ne, 2*c.Ne), 1)})
+	for cl := 0; cl < clusters; cl++ {
+		idx := nl.AddBlock(floorplan.Block{Name: fmt.Sprintf("entries%d", cl), Slices: sliceShare})
+		nl.Connect(floorplan.Net{From: io, To: idx, Width: packet.W, Critical: true, Fanout: c.Ne})
+		nl.Connect(floorplan.Net{From: idx, To: pe, Width: entriesPer, Critical: true})
+	}
+	nl.Connect(floorplan.Net{From: pe, To: io, Width: bitsFor(c.Ne) + 1})
+	return nl
+}
+
+// timingFromPlacement converts placement geometry into a clock estimate.
+func timingFromPlacement(p *floorplan.Placement, logicNS float64, capMHz float64) Timing {
+	crit := p.CriticalLength()
+	region := math.Sqrt(float64(p.Netlist.TotalSlices()) / p.Die.Utilization)
+	if region < 1 {
+		region = 1
+	}
+	congestion := 1 + congestionBeta*p.TotalWirelength()/(region*region)
+	fanoutNS := tFanoutPerLevelNS * math.Log2(float64(p.MaxFanout()))
+	if fanoutNS < 0 {
+		fanoutNS = 0
+	}
+	netNS := tWirePerUnitNS * crit * congestion
+	period := logicNS + netNS + fanoutNS
+	clock := 1000 / period
+	if clock > capMHz {
+		clock = capMHz
+		period = 1000 / capMHz
+	}
+	return Timing{
+		ClockMHz:       clock,
+		PeriodNS:       period,
+		LogicNS:        logicNS,
+		NetNS:          netNS,
+		FanoutNS:       fanoutNS,
+		Congestion:     congestion,
+		CriticalLength: crit,
+	}
+}
+
+// StrideBVTiming places a StrideBV configuration and estimates its clock.
+func StrideBVTiming(d Device, c StrideBVConfig, mode floorplan.Mode, seed int64) (Timing, *floorplan.Placement, error) {
+	nl := StrideBVNetlist(d, c)
+	die := NewDieFor(d)
+	p, err := floorplan.Place(nl, die, mode, seed)
+	if err != nil {
+		return Timing{}, nil, err
+	}
+	logic := tLogicDistNS
+	if c.Memory == BlockRAM {
+		logic = tLogicBRAMNS
+	}
+	return timingFromPlacement(p, logic, d.ClockCapMHz), p, nil
+}
+
+// TCAMTiming places a TCAM configuration and estimates its clock. TCAM is
+// always placed automatically: the paper floorplans only StrideBV, whose
+// regular structure is what makes floorplanning effective.
+func TCAMTiming(d Device, c TCAMConfig, seed int64) (Timing, *floorplan.Placement, error) {
+	nl := TCAMNetlist(d, c)
+	die := NewDieFor(d)
+	p, err := floorplan.Place(nl, die, floorplan.Automatic, seed)
+	if err != nil {
+		return Timing{}, nil, err
+	}
+	return timingFromPlacement(p, tLogicTCAMNS, d.ClockCapMHz), p, nil
+}
+
+// NewDieFor builds the placement die for a device.
+func NewDieFor(d Device) floorplan.Die {
+	return floorplan.NewDie(d.Slices, d.BRAMBlocks)
+}

@@ -1,0 +1,53 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToolReport renders the evaluation in the sectioned style of the Xilinx
+// ISE tool chain the paper used (MAP utilization, TRCE timing, XPower),
+// so the model's output reads like the artifacts the paper's numbers came
+// from. Content is identical to Report.String; only the presentation
+// differs.
+func (r Report) ToolReport() string {
+	var b strings.Builder
+	line := strings.Repeat("-", 68)
+
+	fmt.Fprintf(&b, "%s\nDesign Summary (model of post place-and-route results)\n%s\n", line, line)
+	fmt.Fprintf(&b, "Design:        %s\n", r.Label)
+	fmt.Fprintf(&b, "Target Device: %s\n\n", r.Device.Name)
+
+	fmt.Fprintf(&b, "Device Utilization Summary (MAP)\n%s\n", line)
+	util := func(name string, used, avail int) {
+		pct := 0.0
+		if avail > 0 {
+			pct = 100 * float64(used) / float64(avail)
+		}
+		fmt.Fprintf(&b, "  %-34s %10d out of %8d  %5.1f%%\n", name, used, avail, pct)
+	}
+	util("Number of occupied Slices:", r.Resources.Slices, r.Device.Slices)
+	util("Number of Slice LUTs:", r.Resources.LUTs, r.Device.LUTs())
+	util("  Number used as Memory (SLICEM):", r.Resources.MemLUTs, r.Device.LUTs())
+	util("Number of Slice Registers:", r.Resources.FFs, r.Device.FFs())
+	util("Number of RAMB36E1 blocks:", r.Resources.BRAMs, r.Device.BRAMBlocks)
+	util("Number of bonded IOBs:", r.Resources.IOBs, r.Device.IOBs)
+	fmt.Fprintf(&b, "  %-34s %10.0f Kbit (architectural)\n\n", "Classifier storage:", r.MemoryKbit)
+
+	fmt.Fprintf(&b, "Timing Summary (TRCE)\n%s\n", line)
+	fmt.Fprintf(&b, "  Minimum period: %7.3f ns (Maximum frequency: %.1f MHz)\n", r.Timing.PeriodNS, r.Timing.ClockMHz)
+	fmt.Fprintf(&b, "    logic delay:  %7.3f ns\n", r.Timing.LogicNS)
+	fmt.Fprintf(&b, "    routed nets:  %7.3f ns (critical length %.1f slice units, congestion %.2fx)\n",
+		r.Timing.NetNS, r.Timing.CriticalLength, r.Timing.Congestion)
+	fmt.Fprintf(&b, "    fanout trees: %7.3f ns\n", r.Timing.FanoutNS)
+	fmt.Fprintf(&b, "  Throughput at minimum-size packets: %.1f Gbps\n\n", r.ThroughputGbps)
+
+	fmt.Fprintf(&b, "Power Summary (XPower)\n%s\n", line)
+	fmt.Fprintf(&b, "  %-22s %8.3f W\n", "Clocked logic:", r.Power.LogicW)
+	fmt.Fprintf(&b, "  %-22s %8.3f W\n", "Memory (RAM access):", r.Power.MemW)
+	fmt.Fprintf(&b, "  %-22s %8.3f W\n", "Signals (routing):", r.Power.NetW)
+	fmt.Fprintf(&b, "  %-22s %8.3f W\n", "Quiescent:", r.Power.StaticW)
+	fmt.Fprintf(&b, "  %-22s %8.3f W\n", "Total:", r.Power.TotalW)
+	fmt.Fprintf(&b, "  %-22s %8.1f mW/Gbps\n", "Power efficiency:", r.PowerEffMWPerGbps)
+	return b.String()
+}

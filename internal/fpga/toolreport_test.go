@@ -1,0 +1,37 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+
+	"pktclass/internal/floorplan"
+)
+
+func TestToolReportSections(t *testing.T) {
+	d := Virtex7()
+	r, err := EvaluateStrideBV(d, StrideBVConfig{Ne: 256, K: 4, Memory: BlockRAM}, floorplan.Automatic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.ToolReport()
+	for _, want := range []string{
+		"Design Summary", "Device Utilization Summary (MAP)",
+		"Timing Summary (TRCE)", "Power Summary (XPower)",
+		"RAMB36E1", "Minimum period", "Power efficiency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tool report missing %q:\n%s", want, out)
+		}
+	}
+	// BRAM build: non-zero block count in the MAP section.
+	if strings.Contains(out, "RAMB36E1 blocks:                    0 out") {
+		t.Fatal("BRAM count zero in BRAM build")
+	}
+	rt, err := EvaluateTCAM(d, TCAMConfig{Ne: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.ToolReport(); !strings.Contains(s, "tcam-fpga") {
+		t.Fatalf("TCAM tool report missing label:\n%s", s)
+	}
+}

@@ -1,0 +1,185 @@
+// Package genbv generalizes the StrideBV and TCAM engines to arbitrary
+// key widths. The paper's engines are hard-wired to the 104-bit 5-tuple;
+// its Section II-A notes that OpenFlow-style classification inspects 12+
+// fields, i.e. much wider keys. Ruleset-feature independence carries over
+// unchanged: memory is ceil(W/k)·2^k·Ne bits for StrideBV and 2·W·Ne for
+// TCAM, whatever the fields mean.
+//
+// Keys and ternary patterns are big-endian byte strings: bit i of a key is
+// bit 7-i%8 of byte i/8, matching internal/packet's layout so the 104-bit
+// engines are the special case W=104.
+package genbv
+
+import (
+	"fmt"
+
+	"pktclass/internal/bitvec"
+)
+
+// Ternary is a W-bit ternary pattern over byte strings.
+type Ternary struct {
+	Value []byte
+	Mask  []byte // bit 1 = care
+}
+
+// NewTernary validates and wraps a value/mask pair.
+func NewTernary(value, mask []byte) (Ternary, error) {
+	if len(value) != len(mask) {
+		return Ternary{}, fmt.Errorf("genbv: value %d bytes, mask %d bytes", len(value), len(mask))
+	}
+	return Ternary{Value: value, Mask: mask}, nil
+}
+
+// Matches reports whether the key matches the pattern.
+func (t Ternary) Matches(key []byte) bool {
+	if len(key) != len(t.Value) {
+		return false
+	}
+	for i := range key {
+		if (key[i]^t.Value[i])&t.Mask[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Engine is the width-generic StrideBV classifier.
+type Engine struct {
+	wBits  int
+	k      int
+	stages int
+	ne     int
+	mem    [][]bitvec.Vector
+}
+
+// New builds a stride-k engine over Ne ternary entries of wBits bits.
+func New(entries []Ternary, wBits, k int) (*Engine, error) {
+	if wBits < 1 {
+		return nil, fmt.Errorf("genbv: width %d", wBits)
+	}
+	if k < 1 || k > 8 {
+		return nil, fmt.Errorf("genbv: stride %d outside [1,8]", k)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("genbv: no entries")
+	}
+	wantBytes := (wBits + 7) / 8
+	for i, e := range entries {
+		if len(e.Value) != wantBytes || len(e.Mask) != wantBytes {
+			return nil, fmt.Errorf("genbv: entry %d has %d bytes, want %d", i, len(e.Value), wantBytes)
+		}
+	}
+	e := &Engine{
+		wBits:  wBits,
+		k:      k,
+		stages: (wBits + k - 1) / k,
+		ne:     len(entries),
+	}
+	e.mem = make([][]bitvec.Vector, e.stages)
+	for s := range e.mem {
+		e.mem[s] = make([]bitvec.Vector, 1<<uint(k))
+		for c := range e.mem[s] {
+			v := bitvec.New(e.ne)
+			for j, entry := range entries {
+				if compatible(entry, e.wBits, s, k, c) {
+					v.Set(j)
+				}
+			}
+			e.mem[s][c] = v
+		}
+	}
+	return e, nil
+}
+
+func bitOf(b []byte, i int) int {
+	return int(b[i>>3]>>(7-uint(i&7))) & 1
+}
+
+func compatible(t Ternary, w, s, k, c int) bool {
+	for b := 0; b < k; b++ {
+		i := s*k + b
+		cbit := c >> uint(k-1-b) & 1
+		if i >= w {
+			if cbit != 0 {
+				return false
+			}
+			continue
+		}
+		if bitOf(t.Mask, i) == 1 && bitOf(t.Value, i) != cbit {
+			return false
+		}
+	}
+	return true
+}
+
+// strideOf extracts the k-bit stride at stage s of a key, zero-padded.
+func (e *Engine) strideOf(key []byte, s int) int {
+	v := 0
+	for b := 0; b < e.k; b++ {
+		v <<= 1
+		if i := s*e.k + b; i < e.wBits {
+			v |= bitOf(key, i)
+		}
+	}
+	return v
+}
+
+// Width returns the key width in bits.
+func (e *Engine) Width() int { return e.wBits }
+
+// Stages returns the pipeline depth.
+func (e *Engine) Stages() int { return e.stages }
+
+// NumEntries returns Ne.
+func (e *Engine) NumEntries() int { return e.ne }
+
+// MemoryBits returns the stage-memory requirement: ceil(W/k)·2^k·Ne.
+func (e *Engine) MemoryBits() int { return e.stages * (1 << uint(e.k)) * e.ne }
+
+// MatchVector computes the multi-match vector for a key.
+func (e *Engine) MatchVector(key []byte) (bitvec.Vector, error) {
+	if len(key) != (e.wBits+7)/8 {
+		return bitvec.Vector{}, fmt.Errorf("genbv: key %d bytes, want %d", len(key), (e.wBits+7)/8)
+	}
+	acc := e.mem[0][e.strideOf(key, 0)].Clone()
+	for s := 1; s < e.stages; s++ {
+		acc.AndWith(e.mem[s][e.strideOf(key, s)])
+	}
+	return acc, nil
+}
+
+// Classify returns the first matching entry index, or -1.
+func (e *Engine) Classify(key []byte) (int, error) {
+	v, err := e.MatchVector(key)
+	if err != nil {
+		return -1, err
+	}
+	return v.FirstSet(), nil
+}
+
+// TCAM is the width-generic linear ternary search, the reference for the
+// generic engine.
+type TCAM struct {
+	entries []Ternary
+}
+
+// NewTCAM wraps the entries.
+func NewTCAM(entries []Ternary) *TCAM { return &TCAM{entries: entries} }
+
+// Classify returns the first matching entry index, or -1.
+func (t *TCAM) Classify(key []byte) int {
+	for i, e := range t.entries {
+		if e.Matches(key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MemoryBits returns 2·W·Ne for W taken from the first entry.
+func (t *TCAM) MemoryBits() int {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return 2 * 8 * len(t.entries[0].Value) * len(t.entries)
+}

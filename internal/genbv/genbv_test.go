@@ -1,0 +1,183 @@
+package genbv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTernary(rng *rand.Rand, bytes int) Ternary {
+	v := make([]byte, bytes)
+	m := make([]byte, bytes)
+	rng.Read(v)
+	rng.Read(m)
+	// Sparse masks so matches actually occur.
+	for i := range m {
+		m[i] &= byte(rng.Intn(256)) & byte(rng.Intn(256))
+		v[i] &= m[i]
+	}
+	t, err := NewTernary(v, m)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewTernary([]byte{1}, []byte{1, 2}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	e := []Ternary{{Value: []byte{0}, Mask: []byte{0}}}
+	if _, err := New(e, 0, 3); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := New(e, 8, 0); err == nil {
+		t.Fatal("accepted stride 0")
+	}
+	if _, err := New(e, 8, 9); err == nil {
+		t.Fatal("accepted stride 9")
+	}
+	if _, err := New(nil, 8, 3); err == nil {
+		t.Fatal("accepted empty entries")
+	}
+	if _, err := New(e, 24, 3); err == nil {
+		t.Fatal("accepted wrong entry width")
+	}
+}
+
+func TestEngineEqualsTCAMAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, wBits := range []int{8, 13, 104, 256, 300} {
+		bytes := (wBits + 7) / 8
+		entries := make([]Ternary, 40)
+		for i := range entries {
+			entries[i] = randTernary(rng, bytes)
+			// Clear mask bits past wBits so the pattern is well-formed.
+			for b := wBits; b < bytes*8; b++ {
+				entries[i].Mask[b>>3] &^= 1 << (7 - uint(b&7))
+				entries[i].Value[b>>3] &^= 1 << (7 - uint(b&7))
+			}
+		}
+		ref := NewTCAM(entries)
+		for _, k := range []int{1, 3, 4, 7} {
+			eng, err := New(entries, wBits, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Width() != wBits || eng.NumEntries() != 40 {
+				t.Fatal("accessors wrong")
+			}
+			wantStages := (wBits + k - 1) / k
+			if eng.Stages() != wantStages {
+				t.Fatalf("w=%d k=%d: stages %d want %d", wBits, k, eng.Stages(), wantStages)
+			}
+			if eng.MemoryBits() != wantStages*(1<<k)*40 {
+				t.Fatalf("w=%d k=%d: memory wrong", wBits, k)
+			}
+			for probe := 0; probe < 150; probe++ {
+				key := make([]byte, bytes)
+				rng.Read(key)
+				if probe%3 == 0 { // directed: start from an entry's value
+					e := entries[rng.Intn(len(entries))]
+					copy(key, e.Value)
+					// Randomize a few bytes.
+					key[rng.Intn(bytes)] = byte(rng.Intn(256))
+				}
+				// Clear bits past wBits (callers pack keys that way).
+				for b := wBits; b < bytes*8; b++ {
+					key[b>>3] &^= 1 << (7 - uint(b&7))
+				}
+				got, err := eng.Classify(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := ref.Classify(key); got != want {
+					t.Fatalf("w=%d k=%d: engine %d != tcam %d", wBits, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyRejectsWrongKeyWidth(t *testing.T) {
+	entries := []Ternary{{Value: make([]byte, 4), Mask: make([]byte, 4)}}
+	eng, err := New(entries, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Classify(make([]byte, 5)); err == nil {
+		t.Fatal("accepted oversized key")
+	}
+	if _, err := eng.MatchVector(make([]byte, 3)); err == nil {
+		t.Fatal("accepted undersized key")
+	}
+}
+
+func TestTCAMMemory(t *testing.T) {
+	entries := []Ternary{
+		{Value: make([]byte, 32), Mask: make([]byte, 32)},
+		{Value: make([]byte, 32), Mask: make([]byte, 32)},
+	}
+	if got := NewTCAM(entries).MemoryBits(); got != 2*8*32*2 {
+		t.Fatalf("MemoryBits = %d", got)
+	}
+	if NewTCAM(nil).MemoryBits() != 0 {
+		t.Fatal("empty TCAM has memory")
+	}
+}
+
+func TestQuickWidth104MatchesSemantics(t *testing.T) {
+	// At W=104 the generic engine must agree with direct ternary
+	// evaluation (the property the 5-tuple engines rely on).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := make([]Ternary, 10)
+		for i := range entries {
+			entries[i] = randTernary(rng, 13)
+		}
+		eng, err := New(entries, 104, 4)
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 20; probe++ {
+			key := make([]byte, 13)
+			rng.Read(key)
+			want := -1
+			for i, e := range entries {
+				if e.Matches(key) {
+					want = i
+					break
+				}
+			}
+			got, err := eng.Classify(key)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenericClassify256b(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	entries := make([]Ternary, 512)
+	for i := range entries {
+		entries[i] = randTernary(rng, 32)
+	}
+	eng, err := New(entries, 256, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 32)
+	rng.Read(key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Classify(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package iplookup implements IP longest-prefix-match lookup, the second
+// application the paper names for TCAMs (Section III-B): "for IP lookup,
+// the content will be the routing table... the prefixes can be stored by
+// their prefix length and this yields longest prefix match".
+//
+// Two engines are provided and differentially tested against each other:
+//
+//   - Trie: a binary trie, the algorithmic reference for LPM.
+//   - TCAM: routes stored as ternary entries ordered by descending prefix
+//     length, so the priority encoder's first match IS the longest match —
+//     exactly the organization the paper describes.
+package iplookup
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pktclass/internal/ruleset"
+)
+
+// Route is one routing-table entry.
+type Route struct {
+	Prefix  ruleset.Prefix
+	NextHop int
+}
+
+// NoRoute is returned when no prefix covers the address.
+const NoRoute = -1
+
+// Trie is the binary-trie reference LPM engine.
+type Trie struct {
+	root   *trieNode
+	routes int
+}
+
+type trieNode struct {
+	child  [2]*trieNode
+	hop    int
+	hasHop bool
+}
+
+// NewTrie builds a trie from the routes. Duplicate prefixes keep the last
+// inserted next hop (routing-table update semantics).
+func NewTrie(routes []Route) (*Trie, error) {
+	t := &Trie{root: &trieNode{}}
+	for _, r := range routes {
+		if err := t.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Insert adds or replaces a route.
+func (t *Trie) Insert(r Route) error {
+	if r.Prefix.Bits != 32 {
+		return fmt.Errorf("iplookup: prefix width %d, want 32", r.Prefix.Bits)
+	}
+	n := t.root
+	for b := 0; b < r.Prefix.Len; b++ {
+		bit := r.Prefix.Value >> uint(31-b) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode{}
+		}
+		n = n.child[bit]
+	}
+	if !n.hasHop {
+		t.routes++
+	}
+	n.hop, n.hasHop = r.NextHop, true
+	return nil
+}
+
+// Delete removes a route's next hop (the trie structure is retained).
+func (t *Trie) Delete(p ruleset.Prefix) bool {
+	n := t.root
+	for b := 0; b < p.Len; b++ {
+		bit := p.Value >> uint(31-b) & 1
+		if n.child[bit] == nil {
+			return false
+		}
+		n = n.child[bit]
+	}
+	if !n.hasHop {
+		return false
+	}
+	n.hasHop = false
+	t.routes--
+	return true
+}
+
+// Lookup returns the next hop of the longest matching prefix, or NoRoute.
+func (t *Trie) Lookup(addr uint32) int {
+	n := t.root
+	best := NoRoute
+	for b := 0; b < 32 && n != nil; b++ {
+		if n.hasHop {
+			best = n.hop
+		}
+		n = n.child[addr>>uint(31-b)&1]
+	}
+	if n != nil && n.hasHop {
+		best = n.hop
+	}
+	return best
+}
+
+// Len returns the number of installed routes.
+func (t *Trie) Len() int { return t.routes }
+
+// TCAM is the length-ordered ternary LPM engine of the paper's Section
+// III-B. Entries are sorted by descending prefix length so index order is
+// priority order for longest-prefix matching.
+type TCAM struct {
+	value []uint32
+	mask  []uint32
+	hop   []int
+	lens  []int
+}
+
+// NewTCAM builds the length-ordered TCAM. Later duplicates override
+// earlier ones, matching Trie semantics.
+func NewTCAM(routes []Route) (*TCAM, error) {
+	// Deduplicate: keep the last occurrence of each prefix.
+	type key struct {
+		v uint32
+		l int
+	}
+	last := map[key]int{}
+	for i, r := range routes {
+		if r.Prefix.Bits != 32 {
+			return nil, fmt.Errorf("iplookup: prefix width %d, want 32", r.Prefix.Bits)
+		}
+		last[key{r.Prefix.Value, r.Prefix.Len}] = i
+	}
+	uniq := make([]Route, 0, len(last))
+	for i, r := range routes {
+		if last[key{r.Prefix.Value, r.Prefix.Len}] == i {
+			uniq = append(uniq, r)
+		}
+	}
+	// Stable sort by descending prefix length: the TCAM's priority order.
+	sort.SliceStable(uniq, func(i, j int) bool {
+		return uniq[i].Prefix.Len > uniq[j].Prefix.Len
+	})
+	t := &TCAM{}
+	for _, r := range uniq {
+		t.value = append(t.value, r.Prefix.Value)
+		t.mask = append(t.mask, r.Prefix.Mask())
+		t.hop = append(t.hop, r.NextHop)
+		t.lens = append(t.lens, r.Prefix.Len)
+	}
+	return t, nil
+}
+
+// Lookup returns the next hop of the first (= longest) matching entry.
+func (t *TCAM) Lookup(addr uint32) int {
+	for i := range t.value {
+		if (addr^t.value[i])&t.mask[i] == 0 {
+			return t.hop[i]
+		}
+	}
+	return NoRoute
+}
+
+// Len returns the stored entry count.
+func (t *TCAM) Len() int { return len(t.value) }
+
+// MemoryBits returns the TCAM storage: 2 bits per prefix bit (data+mask),
+// 32-bit slots.
+func (t *TCAM) MemoryBits() int { return 2 * 32 * len(t.value) }
+
+// GenerateTable produces a deterministic synthetic routing table with a
+// BGP-like prefix-length mix (peak at /24, mass at /16..../24, some /8s
+// and host routes).
+func GenerateTable(n int, seed int64) []Route {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Route, 0, n)
+	for i := 0; i < n; i++ {
+		l := prefixLenMix[rng.Intn(len(prefixLenMix))]
+		p, err := ruleset.NewPrefix(rng.Uint32(), 32, l)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, Route{Prefix: p, NextHop: rng.Intn(16)})
+	}
+	return out
+}
+
+// prefixLenMix approximates a default-free-zone length histogram.
+var prefixLenMix = buildLenMix()
+
+func buildLenMix() []int {
+	var mix []int
+	add := func(l, weight int) {
+		for i := 0; i < weight; i++ {
+			mix = append(mix, l)
+		}
+	}
+	add(8, 1)
+	add(16, 4)
+	add(17, 2)
+	add(18, 3)
+	add(19, 4)
+	add(20, 5)
+	add(21, 5)
+	add(22, 8)
+	add(23, 8)
+	add(24, 30)
+	add(32, 2)
+	return mix
+}

@@ -1,0 +1,225 @@
+package iplookup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pktclass/internal/ruleset"
+)
+
+func pfx(t testing.TB, s string) ruleset.Prefix {
+	t.Helper()
+	p, err := ruleset.ParseIPv4Prefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTrieBasicLPM(t *testing.T) {
+	routes := []Route{
+		{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx(t, "10.1.0.0/16"), NextHop: 2},
+		{Prefix: pfx(t, "10.1.2.0/24"), NextHop: 3},
+		{Prefix: pfx(t, "0.0.0.0/0"), NextHop: 0}, // default route
+	}
+	tr, err := NewTrie(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[uint32]int{
+		0x0A010203: 3, // 10.1.2.3 -> /24
+		0x0A010303: 2, // 10.1.3.3 -> /16
+		0x0A990101: 1, // 10.153.. -> /8
+		0x08080808: 0, // default
+	}
+	for addr, want := range cases {
+		if got := tr.Lookup(addr); got != want {
+			t.Fatalf("Lookup(%08x) = %d, want %d", addr, got, want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieInsertDelete(t *testing.T) {
+	tr, err := NewTrie(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Lookup(1); got != NoRoute {
+		t.Fatalf("empty trie lookup = %d", got)
+	}
+	if err := tr.Insert(Route{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Lookup(0x0A000001); got != 5 {
+		t.Fatalf("lookup = %d", got)
+	}
+	// Replace keeps the count stable.
+	if err := tr.Insert(Route{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Lookup(0x0A000001) != 7 {
+		t.Fatalf("replace failed: len=%d hop=%d", tr.Len(), tr.Lookup(0x0A000001))
+	}
+	if !tr.Delete(pfx(t, "10.0.0.0/8")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(pfx(t, "10.0.0.0/8")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Lookup(0x0A000001) != NoRoute {
+		t.Fatal("route survives deletion")
+	}
+	if tr.Delete(pfx(t, "99.0.0.0/8")) {
+		t.Fatal("deleting absent route succeeded")
+	}
+	bad := Route{Prefix: ruleset.Prefix{Bits: 16}}
+	if err := tr.Insert(bad); err == nil {
+		t.Fatal("accepted 16-bit prefix")
+	}
+	if _, err := NewTCAM([]Route{bad}); err == nil {
+		t.Fatal("TCAM accepted 16-bit prefix")
+	}
+}
+
+func TestTCAMOrderedByLength(t *testing.T) {
+	routes := GenerateTable(500, 3)
+	tc, err := NewTCAM(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tc.lens); i++ {
+		if tc.lens[i] > tc.lens[i-1] {
+			t.Fatalf("entries not length-ordered at %d: %d > %d", i, tc.lens[i], tc.lens[i-1])
+		}
+	}
+	if tc.MemoryBits() != 2*32*tc.Len() {
+		t.Fatalf("MemoryBits = %d", tc.MemoryBits())
+	}
+}
+
+func TestTCAMEqualsTrie(t *testing.T) {
+	routes := GenerateTable(1000, 5)
+	tr, err := NewTrie(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTCAM(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		var addr uint32
+		if i%2 == 0 {
+			addr = rng.Uint32()
+		} else {
+			// Directed: inside a random route's prefix.
+			r := routes[rng.Intn(len(routes))]
+			lo, hi := r.Prefix.Range()
+			addr = lo + uint32(rng.Int63n(int64(hi-lo)+1))
+		}
+		a, b := tr.Lookup(addr), tc.Lookup(addr)
+		if a != b {
+			t.Fatalf("Lookup(%08x): trie=%d tcam=%d", addr, a, b)
+		}
+	}
+}
+
+func TestDuplicatePrefixLastWins(t *testing.T) {
+	routes := []Route{
+		{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 9},
+	}
+	tr, _ := NewTrie(routes)
+	tc, err := NewTCAM(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Lookup(0x0A000001) != 9 || tc.Lookup(0x0A000001) != 9 {
+		t.Fatalf("last-wins broken: trie=%d tcam=%d", tr.Lookup(0x0A000001), tc.Lookup(0x0A000001))
+	}
+	if tc.Len() != 1 {
+		t.Fatalf("TCAM kept %d copies", tc.Len())
+	}
+}
+
+func TestQuickTrieEqualsTCAM(t *testing.T) {
+	f := func(seed int64, probes uint8) bool {
+		routes := GenerateTable(64, seed)
+		tr, err := NewTrie(routes)
+		if err != nil {
+			return false
+		}
+		tc, err := NewTCAM(routes)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < int(probes%50)+10; i++ {
+			addr := rng.Uint32()
+			if tr.Lookup(addr) != tc.Lookup(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTableShape(t *testing.T) {
+	routes := GenerateTable(2000, 7)
+	if len(routes) != 2000 {
+		t.Fatalf("%d routes", len(routes))
+	}
+	count24 := 0
+	for _, r := range routes {
+		if r.Prefix.Len == 24 {
+			count24++
+		}
+	}
+	// /24 dominates a DFZ-like mix (~40% of the histogram mass).
+	if count24 < 600 {
+		t.Fatalf("only %d/2000 /24 routes", count24)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	tr, err := NewTrie(GenerateTable(10000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkTCAMLookup(b *testing.B) {
+	tc, err := NewTCAM(GenerateTable(10000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Lookup(addrs[i%len(addrs)])
+	}
+}

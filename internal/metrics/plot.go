@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot renders the figure as a text chart: one column block per N,
+// bars scaled to the figure's maximum, one glyph per series. It gives
+// cmd/experiments a visual of each figure's shape without any plotting
+// dependency.
+func (f *Figure) ASCIIPlot(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	ns := f.Ns()
+	if len(ns) == 0 || len(f.Series) == 0 {
+		return f.Title + " (no data)\n"
+	}
+	maxV := 0.0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	glyphs := []byte("*o+x#@%&")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s, max %.1f]\n", f.Title, f.YLabel, maxV)
+	// Grid: rows from top (maxV) to bottom (0), columns grouped by N with
+	// one cell per series.
+	colW := len(f.Series) + 1
+	for row := height; row >= 1; row-- {
+		lo := maxV * float64(row-1) / float64(height)
+		fmt.Fprintf(&b, "%8.1f |", maxV*float64(row)/float64(height))
+		for _, n := range ns {
+			for si, s := range f.Series {
+				c := byte(' ')
+				if v, ok := s.At(n); ok && v > lo+1e-12 {
+					c = glyphs[si%len(glyphs)]
+				}
+				b.WriteByte(c)
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", colW*len(ns)) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, n := range ns {
+		label := fmt.Sprint(n)
+		if len(label) > colW {
+			label = label[:colW]
+		}
+		b.WriteString(label + strings.Repeat(" ", colW-len(label)))
+	}
+	b.WriteByte('\n')
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}
+
+// LogASCIIPlot renders with a log10 y-scale, useful for the power-
+// efficiency figure whose series span two orders of magnitude.
+func (f *Figure) LogASCIIPlot(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	ns := f.Ns()
+	if len(ns) == 0 || len(f.Series) == 0 {
+		return f.Title + " (no data)\n"
+	}
+	minV, maxV := math.Inf(1), 0.0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+			if p.Value > 0 && p.Value < minV {
+				minV = p.Value
+			}
+		}
+	}
+	if maxV <= 0 || math.IsInf(minV, 1) {
+		return f.ASCIIPlot(height)
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+	glyphs := []byte("*o+x#@%&")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s, log scale %.1f..%.1f]\n", f.Title, f.YLabel, minV, maxV)
+	colW := len(f.Series) + 1
+	for row := height; row >= 1; row-- {
+		lo := logMin + (logMax-logMin)*float64(row-1)/float64(height)
+		fmt.Fprintf(&b, "%8.1f |", math.Pow(10, logMin+(logMax-logMin)*float64(row)/float64(height)))
+		for _, n := range ns {
+			for si, s := range f.Series {
+				c := byte(' ')
+				if v, ok := s.At(n); ok && v > 0 && math.Log10(v) > lo+1e-12 {
+					c = glyphs[si%len(glyphs)]
+				}
+				b.WriteByte(c)
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", colW*len(ns)) + "\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}

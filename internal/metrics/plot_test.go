@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	f := NewFigure("demo", "Gbps")
+	a := f.AddSeries("fast")
+	b := f.AddSeries("slow")
+	for i, n := range []int{32, 64, 128, 256} {
+		a.Add(n, 100-float64(i)*20)
+		b.Add(n, 20-float64(i)*4)
+	}
+	return f
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := demoFigure()
+	s := f.ASCIIPlot(10)
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "fast") || !strings.Contains(s, "slow") {
+		t.Fatalf("plot missing pieces:\n%s", s)
+	}
+	// The tallest bar must reach the top row; the shortest must not.
+	lines := strings.Split(s, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max series not at top row:\n%s", s)
+	}
+	if strings.Contains(top, "o") {
+		t.Fatalf("small series reaches top row:\n%s", s)
+	}
+	// Height floor.
+	if tiny := f.ASCIIPlot(1); strings.Count(tiny, "\n") < 6 {
+		t.Fatalf("height floor not applied:\n%s", tiny)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	f := NewFigure("empty", "x")
+	if s := f.ASCIIPlot(8); !strings.Contains(s, "no data") {
+		t.Fatalf("empty figure plot: %q", s)
+	}
+}
+
+func TestLogASCIIPlot(t *testing.T) {
+	f := NewFigure("log demo", "mW/Gbps")
+	a := f.AddSeries("huge")
+	b := f.AddSeries("tiny")
+	for _, n := range []int{32, 64} {
+		a.Add(n, 1000)
+		b.Add(n, 1)
+	}
+	s := f.LogASCIIPlot(8)
+	if !strings.Contains(s, "log scale") {
+		t.Fatalf("not log scaled:\n%s", s)
+	}
+	// Both series visible despite 3 orders of magnitude.
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("series lost on log plot:\n%s", s)
+	}
+	// All-zero figure falls back to linear.
+	z := NewFigure("zeros", "x")
+	z.AddSeries("z").Add(1, 0)
+	if s := z.LogASCIIPlot(8); s == "" {
+		t.Fatal("fallback plot empty")
+	}
+}

@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a fixed 16-byte header followed by one packed
+// 13-byte key per packet. The format exists so large traces round-trip
+// losslessly and compactly between rulegen and pclass:
+//
+//	offset  size  field
+//	0       4     magic "PKTC"
+//	4       2     version (1)
+//	6       2     reserved (0)
+//	8       8     packet count (little endian)
+//	16      13*n  packed keys (packet.Key layout)
+const (
+	binaryMagic   = "PKTC"
+	binaryVersion = 1
+)
+
+// WriteBinaryTrace writes headers in the binary trace format.
+func WriteBinaryTrace(w io.Writer, trace []Header) error {
+	var hdr [16]byte
+	copy(hdr[0:4], binaryMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(trace)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 13*4096)
+	for i, h := range trace {
+		k := h.Key()
+		buf = append(buf, k[:]...)
+		if len(buf) == cap(buf) || i == len(trace)-1 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// ReadBinaryTrace reads a binary trace written by WriteBinaryTrace.
+func ReadBinaryTrace(r io.Reader) ([]Header, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: short trace header: %w", err)
+	}
+	if string(hdr[0:4]) != binaryMagic {
+		return nil, fmt.Errorf("packet: bad trace magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binaryVersion {
+		return nil, fmt.Errorf("packet: unsupported trace version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("packet: trace count %d exceeds limit", count)
+	}
+	out := make([]Header, 0, count)
+	var k Key
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, k[:]); err != nil {
+			return nil, fmt.Errorf("packet: truncated trace at record %d: %w", i, err)
+		}
+		out = append(out, HeaderFromKey(k))
+	}
+	return out, nil
+}

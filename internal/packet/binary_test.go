@@ -1,0 +1,92 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randTrace(n int, seed int64) []Header {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Header, n)
+	for i := range out {
+		out[i] = Header{
+			SIP: rng.Uint32(), DIP: rng.Uint32(),
+			SP: uint16(rng.Intn(65536)), DP: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+	}
+	return out
+}
+
+func TestBinaryTraceRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000} {
+		trace := randTrace(n, int64(n))
+		var buf bytes.Buffer
+		if err := WriteBinaryTrace(&buf, trace); err != nil {
+			t.Fatal(err)
+		}
+		if want := 16 + 13*n; buf.Len() != want {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, buf.Len(), want)
+		}
+		back, err := ReadBinaryTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(back))
+		}
+		for i := range trace {
+			if back[i] != trace[i] {
+				t.Fatalf("n=%d: record %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestBinaryTraceErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadBinaryTrace(bytes.NewReader([]byte("XXXX0000000000000000"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Short header.
+	if _, err := ReadBinaryTrace(bytes.NewReader([]byte("PKTC"))); err == nil {
+		t.Fatal("accepted short header")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := WriteBinaryTrace(&buf, randTrace(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinaryTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated trace")
+	}
+	// Bad version.
+	b := buf.Bytes()
+	b[4] = 99
+	if _, err := ReadBinaryTrace(bytes.NewReader(b)); err == nil {
+		t.Fatal("accepted bad version")
+	}
+	// Absurd count.
+	var hdr [16]byte
+	copy(hdr[:4], "PKTC")
+	hdr[4] = 1
+	for i := 8; i < 16; i++ {
+		hdr[i] = 0xFF
+	}
+	if _, err := ReadBinaryTrace(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("accepted absurd count")
+	}
+}
+
+func BenchmarkBinaryTraceWrite(b *testing.B) {
+	trace := randTrace(10000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinaryTrace(&buf, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package packet defines the 5-tuple packet header, its canonical 104-bit
+// packed representation, and trace generation.
+//
+// The bit layout is fixed for the whole system (engines, ternary rules,
+// stride addressing):
+//
+//	bits   0.. 31  Source IP        (bit 0 = IP MSB)
+//	bits  32.. 63  Destination IP   (MSB first)
+//	bits  64.. 79  Source port      (MSB first)
+//	bits  80.. 95  Destination port (MSB first)
+//	bits  96..103  Protocol         (MSB first)
+//
+// MSB-first packing within each field makes a length-l prefix occupy the l
+// leading bits of the field, so prefix masks are contiguous — the same
+// convention used by the paper's ternary TCAM encoding and by the FSBV /
+// StrideBV sub-field decomposition.
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Field widths and offsets of the 5-tuple in the packed key.
+const (
+	SIPBits   = 32
+	DIPBits   = 32
+	SPBits    = 16
+	DPBits    = 16
+	ProtoBits = 8
+
+	SIPOff   = 0
+	DIPOff   = SIPOff + SIPBits   // 32
+	SPOff    = DIPOff + DIPBits   // 64
+	DPOff    = SPOff + SPBits     // 80
+	ProtoOff = DPOff + DPBits     // 96
+	W        = ProtoOff + ProtoBits // 104: total tuple width in bits
+)
+
+// KeyBytes is the size of the packed key in bytes.
+const KeyBytes = W / 8 // 13
+
+// MinPacketBits is the minimum Ethernet-layer packet size (40 B) in bits,
+// the per-lookup data volume the paper's throughput figures assume.
+const MinPacketBits = 320
+
+// Header is a classification 5-tuple.
+type Header struct {
+	SIP   uint32
+	DIP   uint32
+	SP    uint16
+	DP    uint16
+	Proto uint8
+}
+
+// Key is the canonical packed 104-bit representation of a Header.
+// Byte i holds bits [8i, 8i+8) with the lowest bit index in the MSB.
+type Key [KeyBytes]byte
+
+// Key packs the header into its canonical 104-bit key.
+func (h Header) Key() Key {
+	var k Key
+	k[0] = byte(h.SIP >> 24)
+	k[1] = byte(h.SIP >> 16)
+	k[2] = byte(h.SIP >> 8)
+	k[3] = byte(h.SIP)
+	k[4] = byte(h.DIP >> 24)
+	k[5] = byte(h.DIP >> 16)
+	k[6] = byte(h.DIP >> 8)
+	k[7] = byte(h.DIP)
+	k[8] = byte(h.SP >> 8)
+	k[9] = byte(h.SP)
+	k[10] = byte(h.DP >> 8)
+	k[11] = byte(h.DP)
+	k[12] = h.Proto
+	return k
+}
+
+// HeaderFromKey unpacks a key back into a Header.
+func HeaderFromKey(k Key) Header {
+	return Header{
+		SIP:   uint32(k[0])<<24 | uint32(k[1])<<16 | uint32(k[2])<<8 | uint32(k[3]),
+		DIP:   uint32(k[4])<<24 | uint32(k[5])<<16 | uint32(k[6])<<8 | uint32(k[7]),
+		SP:    uint16(k[8])<<8 | uint16(k[9]),
+		DP:    uint16(k[10])<<8 | uint16(k[11]),
+		Proto: k[12],
+	}
+}
+
+// Bit returns bit i of the key (0 or 1). Bit 0 is the SIP MSB.
+func (k Key) Bit(i int) int {
+	if i < 0 || i >= W {
+		panic(fmt.Sprintf("packet: bit index %d out of range [0,%d)", i, W))
+	}
+	return int(k[i>>3]>>(7-uint(i&7))) & 1
+}
+
+// Stride extracts the k-bit stride value at bit offset off, MSB first.
+// Strides that run past bit W-1 are zero-padded on the right, matching a
+// hardware pipeline whose final stage wires unused address bits to 0.
+func (k Key) Stride(off, kbits int) int {
+	v := 0
+	for b := 0; b < kbits; b++ {
+		v <<= 1
+		if i := off + b; i < W {
+			v |= k.Bit(i)
+		}
+	}
+	return v
+}
+
+// String renders the header in the ruleset text format's header form.
+func (h Header) String() string {
+	return fmt.Sprintf("%s %s %d %d %d",
+		ipString(h.SIP), ipString(h.DIP), h.SP, h.DP, h.Proto)
+}
+
+func ipString(v uint32) string {
+	a := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	return a.String()
+}
+
+// NumStrides returns the number of pipeline stages a k-bit stride
+// decomposition of the full W-bit tuple needs: ceil(W/k).
+func NumStrides(kbits int) int {
+	if kbits <= 0 {
+		panic(fmt.Sprintf("packet: invalid stride %d", kbits))
+	}
+	return (W + kbits - 1) / kbits
+}

@@ -1,0 +1,151 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(sip, dip uint32, sp, dp uint16, proto uint8) bool {
+		h := Header{SIP: sip, DIP: dip, SP: sp, DP: dp, Proto: proto}
+		return HeaderFromKey(h.Key()) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitLayout(t *testing.T) {
+	h := Header{SIP: 0x80000001, DIP: 0x00000000, SP: 0x8001, DP: 0, Proto: 0x81}
+	k := h.Key()
+	if k.Bit(0) != 1 {
+		t.Fatal("SIP MSB not at bit 0")
+	}
+	if k.Bit(31) != 1 {
+		t.Fatal("SIP LSB not at bit 31")
+	}
+	if k.Bit(SPOff) != 1 {
+		t.Fatal("SP MSB not at bit 64")
+	}
+	if k.Bit(SPOff+15) != 1 {
+		t.Fatal("SP LSB not at bit 79")
+	}
+	if k.Bit(ProtoOff) != 1 {
+		t.Fatal("Proto MSB not at bit 96")
+	}
+	if k.Bit(W-1) != 1 {
+		t.Fatal("Proto LSB not at bit 103")
+	}
+	for _, i := range []int{1, 30, 32, 63, 65, 80, 95, 97} {
+		if k.Bit(i) != 0 {
+			t.Fatalf("bit %d unexpectedly set", i)
+		}
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(104) did not panic")
+		}
+	}()
+	Header{}.Key().Bit(W)
+}
+
+func TestStrideExtraction(t *testing.T) {
+	h := Header{SIP: 0xDEADBEEF, DIP: 0x01234567, SP: 0x89AB, DP: 0xCDEF, Proto: 0x55}
+	k := h.Key()
+	// Reconstruct the full bit string from strides of several widths and
+	// compare with per-bit extraction.
+	for _, kb := range []int{1, 2, 3, 4, 5, 8} {
+		n := NumStrides(kb)
+		for s := 0; s < n; s++ {
+			v := k.Stride(s*kb, kb)
+			for b := 0; b < kb; b++ {
+				want := 0
+				if i := s*kb + b; i < W {
+					want = k.Bit(i)
+				}
+				got := (v >> uint(kb-1-b)) & 1
+				if got != want {
+					t.Fatalf("k=%d stage=%d bit=%d: got %d want %d", kb, s, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStridePaddingPastEnd(t *testing.T) {
+	// W=104; with k=5 the last stage covers bits 100..104, one past the end.
+	h := Header{Proto: 0xFF} // bits 96..103 all ones
+	k := h.Key()
+	last := NumStrides(5) - 1 // stage 20, bits 100..104
+	v := k.Stride(last*5, 5)
+	// bits 100..103 are 1, padded bit is 0 -> 11110b = 30
+	if v != 30 {
+		t.Fatalf("padded stride = %d, want 30", v)
+	}
+}
+
+func TestNumStrides(t *testing.T) {
+	cases := map[int]int{1: 104, 2: 52, 3: 35, 4: 26, 5: 21, 8: 13, 104: 1}
+	for k, want := range cases {
+		if got := NumStrides(k); got != want {
+			t.Fatalf("NumStrides(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestNumStridesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumStrides(0) did not panic")
+		}
+	}()
+	NumStrides(0)
+}
+
+func TestHeaderString(t *testing.T) {
+	h := Header{SIP: 0xC0A80101, DIP: 0x0A000001, SP: 1234, DP: 80, Proto: 6}
+	want := "192.168.1.1 10.0.0.1 1234 80 6"
+	if got := h.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestQuickStrideBitConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		h := Header{
+			SIP: rng.Uint32(), DIP: rng.Uint32(),
+			SP: uint16(rng.Uint32()), DP: uint16(rng.Uint32()),
+			Proto: uint8(rng.Uint32()),
+		}
+		k := h.Key()
+		// Concatenating all 1-bit strides must reproduce every bit.
+		for i := 0; i < W; i++ {
+			if k.Stride(i, 1) != k.Bit(i) {
+				t.Fatalf("Stride(%d,1) != Bit(%d)", i, i)
+			}
+		}
+	}
+}
+
+func BenchmarkKeyPack(b *testing.B) {
+	h := Header{SIP: 0xDEADBEEF, DIP: 0x01234567, SP: 0x89AB, DP: 0xCDEF, Proto: 0x55}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Key()
+	}
+}
+
+func BenchmarkStrideExtract(b *testing.B) {
+	k := Header{SIP: 0xDEADBEEF, DIP: 0x01234567, SP: 0x89AB, DP: 0xCDEF, Proto: 0x55}.Key()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 26; s++ {
+			_ = k.Stride(s*4, 4)
+		}
+	}
+}

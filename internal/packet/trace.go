@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseHeader parses the text header form "sip dip sp dp proto" with IPs in
+// dotted quad and the rest decimal — the format Header.String emits and
+// rulegen -trace writes.
+func ParseHeader(line string) (Header, error) {
+	f := strings.Fields(line)
+	if len(f) != 5 {
+		return Header{}, fmt.Errorf("packet: header needs 5 fields, got %d: %q", len(f), line)
+	}
+	sip, err := parseIPv4(f[0])
+	if err != nil {
+		return Header{}, err
+	}
+	dip, err := parseIPv4(f[1])
+	if err != nil {
+		return Header{}, err
+	}
+	sp, err := strconv.ParseUint(f[2], 10, 16)
+	if err != nil {
+		return Header{}, fmt.Errorf("packet: bad source port %q", f[2])
+	}
+	dp, err := strconv.ParseUint(f[3], 10, 16)
+	if err != nil {
+		return Header{}, fmt.Errorf("packet: bad destination port %q", f[3])
+	}
+	proto, err := strconv.ParseUint(f[4], 10, 8)
+	if err != nil {
+		return Header{}, fmt.Errorf("packet: bad protocol %q", f[4])
+	}
+	return Header{SIP: sip, DIP: dip, SP: uint16(sp), DP: uint16(dp), Proto: uint8(proto)}, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("packet: bad IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("packet: bad IPv4 octet %q in %q", p, s)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return v, nil
+}
+
+// ParseTrace reads a header per line; blank lines and '#' comments are
+// skipped.
+func ParseTrace(r io.Reader) ([]Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Header
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		h, err := ParseHeader(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, h)
+	}
+	return out, sc.Err()
+}

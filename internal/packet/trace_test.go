@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseHeaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		h := Header{
+			SIP: rng.Uint32(), DIP: rng.Uint32(),
+			SP: uint16(rng.Intn(65536)), DP: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+		back, err := ParseHeader(h.String())
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		if back != h {
+			t.Fatalf("round trip %s -> %s", h, back)
+		}
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	bads := []string{
+		"",
+		"1.2.3.4 5.6.7.8 1 2",          // too few
+		"1.2.3.4 5.6.7.8 1 2 3 4",      // too many
+		"1.2.3 5.6.7.8 1 2 3",          // bad IP
+		"1.2.3.256 5.6.7.8 1 2 3",      // octet overflow
+		"1.2.3.4 5.6.7.8 99999 2 3",    // port overflow
+		"1.2.3.4 5.6.7.8 1 2 300",      // proto overflow
+		"1.2.3.4 5.6.7.8 x 2 3",        // non-numeric
+	}
+	for _, b := range bads {
+		if _, err := ParseHeader(b); err == nil {
+			t.Fatalf("accepted %q", b)
+		}
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# a comment
+1.2.3.4 5.6.7.8 100 80 6
+
+9.9.9.9 8.8.8.8 53 53 17
+`
+	hs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 {
+		t.Fatalf("parsed %d headers", len(hs))
+	}
+	if hs[0].DP != 80 || hs[1].Proto != 17 {
+		t.Fatalf("fields wrong: %+v", hs)
+	}
+	if _, err := ParseTrace(strings.NewReader("bogus line\n")); err == nil {
+		t.Fatal("accepted bogus trace")
+	}
+	empty, err := ParseTrace(strings.NewReader("# nothing\n"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty trace handling: %v %v", empty, err)
+	}
+}

@@ -1,0 +1,55 @@
+package penc
+
+import "pktclass/internal/bitvec"
+
+// MultiMatch streaming encoder: IDS-style applications need every matching
+// rule, not just the first (paper Section II-A). In hardware this is an
+// iterative priority encoder: each cycle it reports the current lowest set
+// bit and clears it, so a vector with m matches streams them out in
+// priority order over m cycles.
+//
+// Iterator models that component. It is deliberately cycle-oriented: each
+// Next call is one clock, so callers can account for the report-drain time
+// a burst of multi-matches costs.
+
+// Iterator drains a match vector one result per cycle.
+type Iterator struct {
+	v      bitvec.Vector
+	cursor int
+	cycles int
+}
+
+// NewIterator starts draining a copy of v.
+func NewIterator(v bitvec.Vector) *Iterator {
+	return &Iterator{v: v.Clone()}
+}
+
+// Next returns the next matching index in priority order, consuming one
+// cycle; ok is false when the vector is exhausted (that probe also costs a
+// cycle, matching the hardware's empty-flag check).
+func (it *Iterator) Next() (index int, ok bool) {
+	it.cycles++
+	i := it.v.NextSet(it.cursor)
+	if i < 0 {
+		return NoMatch, false
+	}
+	it.v.Clear(i)
+	it.cursor = i + 1
+	return i, true
+}
+
+// Cycles returns the clock cycles consumed so far.
+func (it *Iterator) Cycles() int { return it.cycles }
+
+// Drain returns all remaining indices and the total cycle cost (matches
+// plus the terminating empty check).
+func (it *Iterator) Drain() ([]int, int) {
+	var out []int
+	for {
+		i, ok := it.Next()
+		if !ok {
+			return out, it.cycles
+		}
+		out = append(out, i)
+	}
+}

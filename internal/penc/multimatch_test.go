@@ -1,0 +1,81 @@
+package penc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pktclass/internal/bitvec"
+)
+
+func TestIteratorDrainOrder(t *testing.T) {
+	v := bitvec.New(300)
+	want := []int{3, 64, 65, 128, 299}
+	for _, i := range want {
+		v.Set(i)
+	}
+	it := NewIterator(v)
+	got, cycles := it.Drain()
+	if len(got) != len(want) {
+		t.Fatalf("Drain = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain = %v, want %v", got, want)
+		}
+	}
+	// m matches + 1 empty probe.
+	if cycles != len(want)+1 {
+		t.Fatalf("cycles = %d, want %d", cycles, len(want)+1)
+	}
+	// The source vector must be untouched (Iterator works on a copy).
+	if v.Ones() != len(want) {
+		t.Fatal("iterator mutated the source vector")
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	it := NewIterator(bitvec.New(64))
+	if i, ok := it.Next(); ok || i != NoMatch {
+		t.Fatalf("Next on empty = %d,%v", i, ok)
+	}
+	if it.Cycles() != 1 {
+		t.Fatalf("empty probe cost %d cycles", it.Cycles())
+	}
+}
+
+func TestIteratorStepwise(t *testing.T) {
+	v := bitvec.New(10)
+	v.Set(2)
+	v.Set(7)
+	it := NewIterator(v)
+	if i, ok := it.Next(); !ok || i != 2 {
+		t.Fatalf("first = %d,%v", i, ok)
+	}
+	if i, ok := it.Next(); !ok || i != 7 {
+		t.Fatalf("second = %d,%v", i, ok)
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("third probe found a phantom match")
+	}
+	if it.Cycles() != 3 {
+		t.Fatalf("cycles = %d", it.Cycles())
+	}
+}
+
+func TestIteratorMatchesSetBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		v := randVec(n, rng, 1+rng.Intn(10))
+		got, _ := NewIterator(v).Drain()
+		want := v.SetBits()
+		if len(got) != len(want) {
+			t.Fatalf("drain %v != SetBits %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("drain %v != SetBits %v", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package penc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pktclass/internal/bitvec"
+)
+
+func TestStages(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 32: 5, 33: 6, 1024: 10, 2048: 11}
+	for n, want := range cases {
+		if got := Stages(n); got != want {
+			t.Fatalf("Stages(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStagesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stages(0) did not panic")
+		}
+	}()
+	Stages(0)
+}
+
+func randVec(n int, rng *rand.Rand, density int) bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(density) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestPipelinedMatchesCombinational(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 64, 100, 512} {
+		p := NewPipelined(n)
+		for trial := 0; trial < 30; trial++ {
+			v := randVec(n, rng, 1+rng.Intn(16))
+			// Push the vector then flush.
+			r := p.Step(&v, trial)
+			if r.Valid {
+				t.Fatalf("n=%d: result appeared with zero latency", n)
+			}
+			results := p.Flush()
+			if len(results) != 1 {
+				t.Fatalf("n=%d: %d results after flush", n, len(results))
+			}
+			if results[0].Index != Encode(v) {
+				t.Fatalf("n=%d trial %d: pipelined %d != combinational %d (v=%s)",
+					n, trial, results[0].Index, Encode(v), v)
+			}
+			if results[0].Token != trial {
+				t.Fatalf("token lost: %v", results[0].Token)
+			}
+		}
+	}
+}
+
+func TestPipelinedLatencyExact(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 100, 2048} {
+		p := NewPipelined(n)
+		v := bitvec.New(n)
+		v.Set(n - 1)
+		cycles := 0
+		r := p.Step(&v, "x")
+		cycles++
+		for !r.Valid {
+			r = p.Step(nil, nil)
+			cycles++
+		}
+		// Result emerges on the cycle after Latency steps have been taken:
+		// pushed at cycle 1, drained when stage Latency-1 shifts out.
+		if cycles != p.Latency()+1 {
+			t.Fatalf("n=%d: result after %d cycles, want %d", n, cycles, p.Latency()+1)
+		}
+	}
+}
+
+func TestPipelinedFullThroughput(t *testing.T) {
+	// One vector per cycle, no bubbles: results must come out one per cycle
+	// after the fill latency, in order, all correct.
+	n := 257
+	rng := rand.New(rand.NewSource(2))
+	p := NewPipelined(n)
+	const count = 200
+	inputs := make([]bitvec.Vector, count)
+	for i := range inputs {
+		inputs[i] = randVec(n, rng, 1+rng.Intn(20))
+	}
+	var got []Result
+	for i := 0; i < count; i++ {
+		v := inputs[i]
+		if r := p.Step(&v, i); r.Valid {
+			got = append(got, r)
+		}
+	}
+	got = append(got, p.Flush()...)
+	if len(got) != count {
+		t.Fatalf("%d results, want %d", len(got), count)
+	}
+	for i, r := range got {
+		if r.Token != i {
+			t.Fatalf("result %d has token %v (out of order)", i, r.Token)
+		}
+		if r.Index != Encode(inputs[i]) {
+			t.Fatalf("result %d: %d != %d", i, r.Index, Encode(inputs[i]))
+		}
+	}
+}
+
+func TestPipelinedBubbles(t *testing.T) {
+	n := 64
+	p := NewPipelined(n)
+	rng := rand.New(rand.NewSource(3))
+	var want []int
+	var got []Result
+	for i := 0; i < 300; i++ {
+		if rng.Intn(3) == 0 {
+			v := randVec(n, rng, 8)
+			want = append(want, Encode(v))
+			if r := p.Step(&v, len(want)-1); r.Valid {
+				got = append(got, r)
+			}
+		} else {
+			if r := p.Step(nil, nil); r.Valid {
+				got = append(got, r)
+			}
+		}
+	}
+	got = append(got, p.Flush()...)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Token != i || r.Index != want[i] {
+			t.Fatalf("result %d = (%d,%v), want (%d,%d)", i, r.Index, r.Token, want[i], i)
+		}
+	}
+}
+
+func TestPipelinedAllZeros(t *testing.T) {
+	p := NewPipelined(128)
+	v := bitvec.New(128)
+	p.Step(&v, nil)
+	rs := p.Flush()
+	if len(rs) != 1 || rs[0].Index != NoMatch {
+		t.Fatalf("all-zero vector gave %+v", rs)
+	}
+}
+
+func TestPipelinedWidthMismatchPanics(t *testing.T) {
+	p := NewPipelined(8)
+	v := bitvec.New(9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	p.Step(&v, nil)
+}
+
+func TestQuickPipelinedEqualsFirstSet(t *testing.T) {
+	f := func(seed int64, nSeed uint16) bool {
+		n := int(nSeed%2048) + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := randVec(n, rng, 1+rng.Intn(32))
+		p := NewPipelined(n)
+		p.Step(&v, nil)
+		rs := p.Flush()
+		return len(rs) == 1 && rs[0].Index == v.FirstSet()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPipelined2048(b *testing.B) {
+	n := 2048
+	rng := rand.New(rand.NewSource(4))
+	v := randVec(n, rng, 64)
+	p := NewPipelined(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Step(&v, nil)
+	}
+}

@@ -1,0 +1,260 @@
+package ruleset
+
+// ClassBench-style parametric generation. The de-facto benchmark for
+// packet classification (Taylor & Turner's ClassBench) synthesizes
+// rulesets from a *seed parameter file*: per-field prefix-length
+// distributions, a port-pair class matrix, and a protocol mix measured
+// from real filter sets. This file implements that parameter model so
+// experiments can generate ACL-, FW- and IPC-flavored rulesets — and, by
+// perturbing the parameters, rulesets with arbitrary feature mixes, which
+// is exactly the variability the two feature-independent engines are
+// insensitive to.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PortClass is ClassBench's port-range taxonomy.
+type PortClass int
+
+const (
+	// PortWC is the full wildcard 0:65535.
+	PortWC PortClass = iota
+	// PortHI is the ephemeral high range 1024:65535.
+	PortHI
+	// PortLO is the system range 0:1023.
+	PortLO
+	// PortAR is an arbitrary range.
+	PortAR
+	// PortEM is an exact match.
+	PortEM
+	numPortClasses
+)
+
+func (p PortClass) String() string {
+	switch p {
+	case PortWC:
+		return "WC"
+	case PortHI:
+		return "HI"
+	case PortLO:
+		return "LO"
+	case PortAR:
+		return "AR"
+	case PortEM:
+		return "EM"
+	}
+	return fmt.Sprintf("PortClass(%d)", int(p))
+}
+
+// Seed is a ClassBench-style parameter file.
+type Seed struct {
+	Name string
+	// SIPLen and DIPLen are prefix-length histograms: index l holds the
+	// relative weight of length l (0..32).
+	SIPLen [33]float64
+	DIPLen [33]float64
+	// PortPair[src][dst] weights the joint source/destination port class.
+	PortPair [numPortClasses][numPortClasses]float64
+	// Protocols maps protocol values to weights; the zero key with
+	// ProtoWildcardWeight covers the wildcard case.
+	Protocols           map[uint8]float64
+	ProtoWildcardWeight float64
+}
+
+// Validate checks the seed has usable mass.
+func (s *Seed) Validate() error {
+	if sumWeights(s.SIPLen[:]) <= 0 || sumWeights(s.DIPLen[:]) <= 0 {
+		return fmt.Errorf("ruleset: seed %q has empty prefix-length distribution", s.Name)
+	}
+	total := 0.0
+	for i := range s.PortPair {
+		total += sumWeights(s.PortPair[i][:])
+	}
+	if total <= 0 {
+		return fmt.Errorf("ruleset: seed %q has empty port-pair matrix", s.Name)
+	}
+	if len(s.Protocols) == 0 && s.ProtoWildcardWeight <= 0 {
+		return fmt.Errorf("ruleset: seed %q has no protocol mass", s.Name)
+	}
+	return nil
+}
+
+func sumWeights(w []float64) float64 {
+	t := 0.0
+	for _, v := range w {
+		if v > 0 {
+			t += v
+		}
+	}
+	return t
+}
+
+// ACLSeed models access-control lists: specific sources and destinations,
+// exact destination service ports, concrete protocols.
+func ACLSeed() *Seed {
+	s := &Seed{Name: "acl", Protocols: map[uint8]float64{ProtoTCP: 0.65, ProtoUDP: 0.25, ProtoICMP: 0.05}, ProtoWildcardWeight: 0.05}
+	for l := 16; l <= 32; l++ {
+		s.SIPLen[l] = float64(l - 14)
+		s.DIPLen[l] = float64(l - 12)
+	}
+	s.SIPLen[0] = 6
+	s.DIPLen[0] = 2
+	s.PortPair[PortWC][PortEM] = 0.55
+	s.PortPair[PortWC][PortWC] = 0.15
+	s.PortPair[PortWC][PortLO] = 0.08
+	s.PortPair[PortWC][PortHI] = 0.08
+	s.PortPair[PortWC][PortAR] = 0.06
+	s.PortPair[PortEM][PortEM] = 0.05
+	s.PortPair[PortHI][PortEM] = 0.03
+	return s
+}
+
+// FWSeed models firewall filters: broader prefixes, more arbitrary ranges.
+func FWSeed() *Seed {
+	s := &Seed{Name: "fw", Protocols: map[uint8]float64{ProtoTCP: 0.5, ProtoUDP: 0.3}, ProtoWildcardWeight: 0.2}
+	for l := 8; l <= 32; l += 2 {
+		s.SIPLen[l] = 3
+		s.DIPLen[l] = 3
+	}
+	s.SIPLen[0] = 8
+	s.DIPLen[0] = 8
+	s.SIPLen[32] = 6
+	s.DIPLen[32] = 6
+	s.PortPair[PortWC][PortWC] = 0.2
+	s.PortPair[PortWC][PortEM] = 0.25
+	s.PortPair[PortWC][PortAR] = 0.2
+	s.PortPair[PortAR][PortAR] = 0.1
+	s.PortPair[PortHI][PortHI] = 0.1
+	s.PortPair[PortLO][PortWC] = 0.1
+	s.PortPair[PortEM][PortEM] = 0.05
+	return s
+}
+
+// IPCSeed models IP-chain style sets: many host-host pairs.
+func IPCSeed() *Seed {
+	s := &Seed{Name: "ipc", Protocols: map[uint8]float64{ProtoTCP: 0.7, ProtoUDP: 0.2}, ProtoWildcardWeight: 0.1}
+	s.SIPLen[32] = 10
+	s.DIPLen[32] = 10
+	for l := 24; l < 32; l++ {
+		s.SIPLen[l] = 2
+		s.DIPLen[l] = 2
+	}
+	s.SIPLen[0] = 1
+	s.DIPLen[0] = 1
+	s.PortPair[PortEM][PortEM] = 0.4
+	s.PortPair[PortWC][PortEM] = 0.3
+	s.PortPair[PortWC][PortWC] = 0.2
+	s.PortPair[PortHI][PortEM] = 0.1
+	return s
+}
+
+// GenerateFromSeed synthesizes n rules from a parameter seed.
+func GenerateFromSeed(s *Seed, n int, seed int64) (*RuleSet, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ruleset: GenerateFromSeed with n=%d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := Rule{
+			SIP:    drawPrefix(rng, s.SIPLen),
+			DIP:    drawPrefix(rng, s.DIPLen),
+			Action: randAction(rng),
+		}
+		sc, dc := drawPortPair(rng, &s.PortPair)
+		r.SP = drawPortRange(rng, sc)
+		r.DP = drawPortRange(rng, dc)
+		r.Proto = drawProtocol(rng, s)
+		rules = append(rules, r)
+	}
+	return New(rules), nil
+}
+
+func drawPrefix(rng *rand.Rand, hist [33]float64) Prefix {
+	l := drawIndex(rng, hist[:])
+	p, err := NewPrefix(rng.Uint32(), 32, l)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func drawIndex(rng *rand.Rand, w []float64) int {
+	total := sumWeights(w)
+	x := rng.Float64() * total
+	for i, v := range w {
+		if v <= 0 {
+			continue
+		}
+		x -= v
+		if x <= 0 {
+			return i
+		}
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+func drawPortPair(rng *rand.Rand, m *[numPortClasses][numPortClasses]float64) (src, dst PortClass) {
+	flat := make([]float64, int(numPortClasses)*int(numPortClasses))
+	for i := 0; i < int(numPortClasses); i++ {
+		for j := 0; j < int(numPortClasses); j++ {
+			flat[i*int(numPortClasses)+j] = m[i][j]
+		}
+	}
+	idx := drawIndex(rng, flat)
+	return PortClass(idx / int(numPortClasses)), PortClass(idx % int(numPortClasses))
+}
+
+func drawPortRange(rng *rand.Rand, c PortClass) PortRange {
+	switch c {
+	case PortWC:
+		return FullPortRange
+	case PortHI:
+		return PortRange{Lo: 1024, Hi: 65535}
+	case PortLO:
+		return PortRange{Lo: 0, Hi: 1023}
+	case PortEM:
+		if rng.Intn(2) == 0 {
+			return ExactPort(wellKnownPorts[rng.Intn(len(wellKnownPorts))])
+		}
+		return ExactPort(uint16(rng.Intn(65536)))
+	case PortAR:
+		lo := uint16(rng.Intn(65000))
+		return PortRange{Lo: lo, Hi: lo + uint16(1+rng.Intn(1000))}
+	}
+	return FullPortRange
+}
+
+func drawProtocol(rng *rand.Rand, s *Seed) Protocol {
+	total := s.ProtoWildcardWeight
+	for _, w := range s.Protocols {
+		total += w
+	}
+	x := rng.Float64() * total
+	if x < s.ProtoWildcardWeight {
+		return AnyProtocol
+	}
+	x -= s.ProtoWildcardWeight
+	// Deterministic iteration: protocols in ascending key order.
+	for v := 0; v < 256; v++ {
+		w, ok := s.Protocols[uint8(v)]
+		if !ok {
+			continue
+		}
+		x -= w
+		if x <= 0 {
+			return ExactProtocol(uint8(v))
+		}
+	}
+	return AnyProtocol
+}

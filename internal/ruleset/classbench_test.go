@@ -1,0 +1,137 @@
+package ruleset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeedValidate(t *testing.T) {
+	for _, s := range []*Seed{ACLSeed(), FWSeed(), IPCSeed()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	var empty Seed
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty seed validated")
+	}
+	noPorts := ACLSeed()
+	noPorts.PortPair = [numPortClasses][numPortClasses]float64{}
+	if err := noPorts.Validate(); err == nil {
+		t.Fatal("seed without port mass validated")
+	}
+	noProto := ACLSeed()
+	noProto.Protocols = nil
+	noProto.ProtoWildcardWeight = 0
+	if err := noProto.Validate(); err == nil {
+		t.Fatal("seed without protocol mass validated")
+	}
+}
+
+func TestGenerateFromSeedBasics(t *testing.T) {
+	for _, s := range []*Seed{ACLSeed(), FWSeed(), IPCSeed()} {
+		rs, err := GenerateFromSeed(s, 500, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if rs.Len() != 500 {
+			t.Fatalf("%s: N = %d", s.Name, rs.Len())
+		}
+		if err := rs.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// Deterministic.
+		again, err := GenerateFromSeed(s, 500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rs.Rules {
+			if rs.Rules[i] != again.Rules[i] {
+				t.Fatalf("%s: not deterministic at rule %d", s.Name, i)
+			}
+		}
+	}
+	if _, err := GenerateFromSeed(ACLSeed(), 0, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestSeedShapesDiffer(t *testing.T) {
+	// The three canonical seeds must produce measurably different
+	// rulesets — that's the point of parameterized generation.
+	stats := func(s *Seed) (hostPairs, exactDP, wildcardSIP int) {
+		rs, err := GenerateFromSeed(s, 1000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs.Rules {
+			if r.SIP.Len == 32 && r.DIP.Len == 32 {
+				hostPairs++
+			}
+			if r.DP.Exact() {
+				exactDP++
+			}
+			if r.SIP.Wildcard() {
+				wildcardSIP++
+			}
+		}
+		return
+	}
+	aclHosts, aclExact, _ := stats(ACLSeed())
+	ipcHosts, _, _ := stats(IPCSeed())
+	fwHosts, _, fwWild := stats(FWSeed())
+	if ipcHosts <= aclHosts || ipcHosts <= fwHosts {
+		t.Fatalf("IPC host-pair density %d not highest (acl %d, fw %d)", ipcHosts, aclHosts, fwHosts)
+	}
+	if aclExact < 400 {
+		t.Fatalf("ACL exact destination ports only %d/1000", aclExact)
+	}
+	if fwWild < 100 {
+		t.Fatalf("FW wildcard sources only %d/1000", fwWild)
+	}
+}
+
+func TestSeedRulesetsWorkWithEngines(t *testing.T) {
+	// Seed-generated rulesets feed the same expansion path.
+	rs, err := GenerateFromSeed(FWSeed(), 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := rs.Expand()
+	if ex.Len() < rs.Len() {
+		t.Fatalf("expanded %d < %d", ex.Len(), rs.Len())
+	}
+	trace := GenerateTrace(rs, TraceConfig{Count: 200, MatchFraction: 0.8, Seed: 12})
+	for _, h := range trace {
+		if got, want := ex.FirstMatch(h.Key()), rs.FirstMatch(h); got != want {
+			t.Fatalf("expansion diverges on %s", h)
+		}
+	}
+}
+
+func TestPortClassString(t *testing.T) {
+	names := map[PortClass]string{PortWC: "WC", PortHI: "HI", PortLO: "LO", PortAR: "AR", PortEM: "EM"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestDrawIndexDistribution(t *testing.T) {
+	// drawIndex must respect weights roughly and never pick zero-weight
+	// slots.
+	w := []float64{0, 1, 0, 3, 0}
+	counts := make([]int, len(w))
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 4000; i++ {
+		counts[drawIndex(rng, w)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 || counts[4] != 0 {
+		t.Fatalf("zero-weight slot picked: %v", counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[1])
+	if ratio < 2.2 || ratio > 4.2 {
+		t.Fatalf("weight ratio %.2f, want ~3", ratio)
+	}
+}

@@ -1,0 +1,171 @@
+package ruleset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPrefixValidation(t *testing.T) {
+	if _, err := NewPrefix(0, 0, 0); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := NewPrefix(0, 33, 0); err == nil {
+		t.Fatal("accepted width 33")
+	}
+	if _, err := NewPrefix(0, 32, 33); err == nil {
+		t.Fatal("accepted length > width")
+	}
+	if _, err := NewPrefix(0, 32, -1); err == nil {
+		t.Fatal("accepted negative length")
+	}
+	p, err := NewPrefix(0xFFFFFFFF, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 0xFF000000 {
+		t.Fatalf("value not canonicalized: %08x", p.Value)
+	}
+}
+
+func TestPrefixMatches(t *testing.T) {
+	p, _ := NewPrefix(0xC0A80000, 32, 16) // 192.168/16
+	cases := []struct {
+		v    uint32
+		want bool
+	}{
+		{0xC0A80000, true},
+		{0xC0A8FFFF, true},
+		{0xC0A90000, false},
+		{0x00000000, false},
+	}
+	for _, c := range cases {
+		if p.Matches(c.v) != c.want {
+			t.Fatalf("Matches(%08x) = %v, want %v", c.v, !c.want, c.want)
+		}
+	}
+	wild, _ := NewPrefix(0, 32, 0)
+	if !wild.Matches(0xDEADBEEF) || !wild.Wildcard() {
+		t.Fatal("wildcard prefix does not match everything")
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	p, _ := NewPrefix(0x0A000000, 32, 8)
+	lo, hi := p.Range()
+	if lo != 0x0A000000 || hi != 0x0AFFFFFF {
+		t.Fatalf("Range = [%08x,%08x]", lo, hi)
+	}
+	exact, _ := NewPrefix(42, 32, 32)
+	lo, hi = exact.Range()
+	if lo != 42 || hi != 42 {
+		t.Fatalf("exact Range = [%d,%d]", lo, hi)
+	}
+	p16, _ := NewPrefix(0x1200, 16, 8)
+	lo, hi = p16.Range()
+	if lo != 0x1200 || hi != 0x12FF {
+		t.Fatalf("16-bit Range = [%04x,%04x]", lo, hi)
+	}
+}
+
+func TestQuickPrefixMatchEqualsRange(t *testing.T) {
+	f := func(value, probe uint32, lenSeed uint8) bool {
+		l := int(lenSeed) % 33
+		p, err := NewPrefix(value, 32, l)
+		if err != nil {
+			return false
+		}
+		lo, hi := p.Range()
+		return p.Matches(probe) == (probe >= lo && probe <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPv4Prefix(t *testing.T) {
+	p, err := ParseIPv4Prefix("192.168.1.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 0xC0A80100 || p.Len != 24 || p.Bits != 32 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p, err = ParseIPv4Prefix("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len != 32 || p.Value != 0x0A010203 {
+		t.Fatalf("bare address parsed as %+v", p)
+	}
+	for _, bad := range []string{"10.1.2", "10.1.2.3.4", "256.0.0.0/8", "10.0.0.0/33", "10.0.0.0/x", "a.b.c.d"} {
+		if _, err := ParseIPv4Prefix(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestPrefixStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		p, _ := NewPrefix(rng.Uint32(), 32, rng.Intn(33))
+		back, err := ParseIPv4Prefix(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if back != p {
+			t.Fatalf("round trip %s -> %+v != %+v", p, back, p)
+		}
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	if _, err := NewPortRange(10, 5); err == nil {
+		t.Fatal("accepted inverted range")
+	}
+	r, _ := NewPortRange(100, 200)
+	if !r.Matches(100) || !r.Matches(200) || !r.Matches(150) {
+		t.Fatal("range bounds not inclusive")
+	}
+	if r.Matches(99) || r.Matches(201) {
+		t.Fatal("range matches outside")
+	}
+	if !FullPortRange.Wildcard() || r.Wildcard() {
+		t.Fatal("Wildcard wrong")
+	}
+	if !ExactPort(80).Exact() || r.Exact() {
+		t.Fatal("Exact wrong")
+	}
+}
+
+func TestPortRangeIsPrefix(t *testing.T) {
+	if p, ok := FullPortRange.IsPrefix(); !ok || p.Len != 0 {
+		t.Fatalf("full range IsPrefix = %v, %v", p, ok)
+	}
+	if p, ok := ExactPort(80).IsPrefix(); !ok || p.Len != 16 || p.Value != 80 {
+		t.Fatalf("exact IsPrefix = %v, %v", p, ok)
+	}
+	if p, ok := (PortRange{Lo: 1024, Hi: 65535}).IsPrefix(); ok {
+		t.Fatalf("[1024,65535] claimed prefix %v", p)
+	}
+	if p, ok := (PortRange{Lo: 0, Hi: 1023}).IsPrefix(); !ok || p.Len != 6 {
+		t.Fatalf("[0,1023] IsPrefix = %v, %v", p, ok)
+	}
+}
+
+func TestProtocol(t *testing.T) {
+	tcp := ExactProtocol(ProtoTCP)
+	if !tcp.Matches(6) || tcp.Matches(17) {
+		t.Fatal("exact protocol match wrong")
+	}
+	if !AnyProtocol.Matches(0) || !AnyProtocol.Matches(255) || !AnyProtocol.Wildcard() {
+		t.Fatal("wildcard protocol wrong")
+	}
+	masked := Protocol{Value: 0x06, Mask: 0x0F}
+	if !masked.Matches(0x16) || masked.Matches(0x17) {
+		t.Fatal("masked protocol wrong")
+	}
+	if tcp.String() != "0x06/0xFF" {
+		t.Fatalf("String = %q", tcp.String())
+	}
+}

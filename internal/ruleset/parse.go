@@ -1,0 +1,170 @@
+package ruleset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text ruleset format (ClassBench-compatible core, optional action suffix):
+//
+//	@<sip>/<len> <dip>/<len> <splo> : <sphi> <dplo> : <dphi> 0xPP/0xMM [action]
+//
+// where action is "PORT <n>" or "DROP"; missing actions default to PORT 0.
+// '#' starts a comment; blank lines are ignored. Protocol also accepts the
+// names tcp/udp/icmp and '*'.
+
+// Parse reads a ruleset from r in the text format.
+func Parse(r io.Reader) (*RuleSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var rules []Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("ruleset: no rules in input")
+	}
+	return New(rules), nil
+}
+
+// ParseString parses a ruleset from a string.
+func ParseString(s string) (*RuleSet, error) { return Parse(strings.NewReader(s)) }
+
+// ParseRule parses a single rule line.
+func ParseRule(line string) (Rule, error) {
+	if !strings.HasPrefix(line, "@") {
+		return Rule{}, fmt.Errorf("ruleset: rule must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	// Minimum: sip dip splo : sphi dplo : dphi proto  => 9 tokens.
+	if len(fields) < 9 {
+		return Rule{}, fmt.Errorf("ruleset: rule has %d tokens, want >= 9: %q", len(fields), line)
+	}
+	var r Rule
+	var err error
+	if r.SIP, err = ParseIPv4Prefix(fields[0]); err != nil {
+		return Rule{}, err
+	}
+	if r.DIP, err = ParseIPv4Prefix(fields[1]); err != nil {
+		return Rule{}, err
+	}
+	if r.SP, err = parseRangeTokens(fields[2:5]); err != nil {
+		return Rule{}, fmt.Errorf("source port: %w", err)
+	}
+	if r.DP, err = parseRangeTokens(fields[5:8]); err != nil {
+		return Rule{}, fmt.Errorf("destination port: %w", err)
+	}
+	if r.Proto, err = parseProtocol(fields[8]); err != nil {
+		return Rule{}, err
+	}
+	r.Action, err = parseAction(fields[9:])
+	if err != nil {
+		return Rule{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func parseRangeTokens(tok []string) (PortRange, error) {
+	if len(tok) != 3 || tok[1] != ":" {
+		return PortRange{}, fmt.Errorf("ruleset: want \"lo : hi\", got %q", strings.Join(tok, " "))
+	}
+	lo, err := strconv.ParseUint(tok[0], 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("ruleset: bad port %q", tok[0])
+	}
+	hi, err := strconv.ParseUint(tok[2], 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("ruleset: bad port %q", tok[2])
+	}
+	return NewPortRange(uint16(lo), uint16(hi))
+}
+
+func parseProtocol(s string) (Protocol, error) {
+	switch strings.ToLower(s) {
+	case "*", "any", "ip":
+		return AnyProtocol, nil
+	case "tcp":
+		return ExactProtocol(ProtoTCP), nil
+	case "udp":
+		return ExactProtocol(ProtoUDP), nil
+	case "icmp":
+		return ExactProtocol(ProtoICMP), nil
+	}
+	val := s
+	mask := "0xFF"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		val, mask = s[:i], s[i+1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(val), "0x"), 16, 8)
+	if err != nil {
+		// Try decimal for bare numbers like "6".
+		v, err = strconv.ParseUint(val, 10, 8)
+		if err != nil {
+			return Protocol{}, fmt.Errorf("ruleset: bad protocol %q", s)
+		}
+	}
+	m, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(mask), "0x"), 16, 8)
+	if err != nil {
+		return Protocol{}, fmt.Errorf("ruleset: bad protocol mask %q", mask)
+	}
+	return Protocol{Value: uint8(v) & uint8(m), Mask: uint8(m)}, nil
+}
+
+func parseAction(tok []string) (Action, error) {
+	if len(tok) == 0 {
+		return Action{Kind: Forward, Port: 0}, nil
+	}
+	switch strings.ToUpper(tok[0]) {
+	case "DROP", "DENY":
+		return Action{Kind: Drop}, nil
+	case "PORT", "PERMIT", "FWD":
+		if len(tok) < 2 {
+			return Action{Kind: Forward, Port: 0}, nil
+		}
+		p, err := strconv.Atoi(tok[1])
+		if err != nil {
+			return Action{}, fmt.Errorf("ruleset: bad action port %q", tok[1])
+		}
+		return Action{Kind: Forward, Port: p}, nil
+	}
+	return Action{}, fmt.Errorf("ruleset: unknown action %q", strings.Join(tok, " "))
+}
+
+// Write serializes the ruleset in the text format, one rule per line.
+func (rs *RuleSet) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs.Rules {
+		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalText renders the ruleset to a string in the text format.
+func (rs *RuleSet) MarshalText() string {
+	var sb strings.Builder
+	if err := rs.Write(&sb); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}

@@ -1,0 +1,139 @@
+package ruleset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleText = `# comment line
+@198.12.130.31/32 192.5.0.0/16 0 : 65535 1521 : 1521 0x06/0xFF PORT 2
+
+@0.0.0.0/0 10.0.0.0/8 1024 : 65535 80 : 80 tcp DROP
+@1.2.3.4/32 5.6.7.8/32 53 : 53 0 : 65535 udp
+@9.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 1023 * PORT 7
+`
+
+func TestParseBasics(t *testing.T) {
+	rs, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("parsed %d rules", rs.Len())
+	}
+	r0 := rs.Rules[0]
+	if r0.SIP.Len != 32 || r0.DIP.Len != 16 {
+		t.Fatalf("rule 0 prefixes wrong: %+v", r0)
+	}
+	if !r0.SP.Wildcard() || !r0.DP.Exact() || r0.DP.Lo != 1521 {
+		t.Fatalf("rule 0 ports wrong: %+v", r0)
+	}
+	if r0.Proto != ExactProtocol(6) {
+		t.Fatalf("rule 0 proto wrong: %+v", r0.Proto)
+	}
+	if r0.Action != (Action{Kind: Forward, Port: 2}) {
+		t.Fatalf("rule 0 action wrong: %+v", r0.Action)
+	}
+	if rs.Rules[1].Action.Kind != Drop {
+		t.Fatal("rule 1 not DROP")
+	}
+	if rs.Rules[2].Action != (Action{Kind: Forward, Port: 0}) {
+		t.Fatal("default action not PORT 0")
+	}
+	if !rs.Rules[3].Proto.Wildcard() {
+		t.Fatal("rule 3 proto not wildcard")
+	}
+}
+
+func TestParseProtocolForms(t *testing.T) {
+	cases := map[string]Protocol{
+		"tcp":       ExactProtocol(6),
+		"UDP":       ExactProtocol(17),
+		"icmp":      ExactProtocol(1),
+		"*":         AnyProtocol,
+		"any":       AnyProtocol,
+		"0x06/0xFF": ExactProtocol(6),
+		"0x00/0x00": AnyProtocol,
+		"0x11":      ExactProtocol(17),
+		"6":         ExactProtocol(6),
+	}
+	for s, want := range cases {
+		got, err := parseProtocol(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("%q: got %+v want %+v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"zzz", "0x100", "0x06/0xZZ"} {
+		if _, err := parseProtocol(bad); err == nil {
+			t.Fatalf("accepted protocol %q", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bads := []string{
+		"1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp",             // missing @
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 tcp",                  // too few tokens
+		"@1.2.3.4/32 5.6.7.8/32 0 ; 1 0 : 1 tcp",            // bad separator
+		"@1.2.3.4/32 5.6.7.8/32 9 : 1 0 : 1 tcp",            // inverted range
+		"@1.2.3.4/32 5.6.7.8/32 0 : 99999 0 : 1 tcp",        // port overflow
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp FLY",        // bad action
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp PORT zz",    // bad port
+	}
+	for _, b := range bads {
+		if _, err := ParseRule(b); err == nil {
+			t.Fatalf("accepted %q", b)
+		}
+	}
+	if _, err := ParseString("# only comments\n"); err == nil {
+		t.Fatal("accepted empty ruleset")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	for _, profile := range []Profile{FirewallProfile, FeatureFree, PrefixOnly} {
+		rs := Generate(GenConfig{N: 60, Profile: profile, Seed: 99, DefaultRule: true})
+		text := rs.MarshalText()
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", profile, err, text)
+		}
+		if back.Len() != rs.Len() {
+			t.Fatalf("%v: round trip %d != %d rules", profile, back.Len(), rs.Len())
+		}
+		for i := range rs.Rules {
+			if rs.Rules[i] != back.Rules[i] {
+				t.Fatalf("%v: rule %d round trip\n got %+v\nwant %+v", profile, i, back.Rules[i], rs.Rules[i])
+			}
+		}
+	}
+}
+
+func TestParseSampleRuleSetText(t *testing.T) {
+	rs := SampleRuleSet()
+	back, err := ParseString(rs.MarshalText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rs.Len() {
+		t.Fatalf("round trip lost rules: %d != %d", back.Len(), rs.Len())
+	}
+}
+
+func TestParseLongInput(t *testing.T) {
+	var sb strings.Builder
+	rs := Generate(GenConfig{N: 2048, Profile: FirewallProfile, Seed: 5})
+	if err := rs.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2048 {
+		t.Fatalf("parsed %d rules", back.Len())
+	}
+}

@@ -1,0 +1,56 @@
+package ruleset
+
+// Range-to-prefix conversion.
+//
+// An arbitrary inclusive range over a w-bit field splits into at most
+// 2(w-1) prefixes (the paper's Section II bound). The standard recursive
+// construction walks the implicit binary trie: a node whose span lies fully
+// inside the range emits one prefix; a node that partially overlaps recurses
+// into both children.
+
+// Prefixes returns the minimal ordered prefix cover of the range, most
+// significant (widest) spans first in address order.
+func (r PortRange) Prefixes() []Prefix {
+	return rangeToPrefixes(uint32(r.Lo), uint32(r.Hi), 16)
+}
+
+// rangeToPrefixes computes the minimal prefix cover of [lo,hi] over a
+// bits-wide field using the greedy largest-aligned-block construction, which
+// is equivalent to the trie walk but iterative and allocation-friendly.
+func rangeToPrefixes(lo, hi uint32, bits int) []Prefix {
+	if lo > hi {
+		return nil
+	}
+	var out []Prefix
+	for {
+		// Largest block size aligned at lo: 2^t where t = min(trailing
+		// zeros of lo capped at bits, largest t with lo+2^t-1 <= hi).
+		t := 0
+		for t < bits && lo&(1<<uint(t)) == 0 {
+			// Block of size 2^(t+1) must stay aligned and inside range.
+			if uint64(lo)+(uint64(1)<<uint(t+1))-1 > uint64(hi) {
+				break
+			}
+			t++
+		}
+		p, err := NewPrefix(lo, bits, bits-t)
+		if err != nil {
+			panic("ruleset: internal range conversion error: " + err.Error())
+		}
+		out = append(out, p)
+		next := uint64(lo) + (uint64(1) << uint(t))
+		if next > uint64(hi) {
+			return out
+		}
+		lo = uint32(next)
+	}
+}
+
+// MaxRangePrefixes is the worst-case number of prefixes a single w-bit range
+// expands to: 2(w-1).
+func MaxRangePrefixes(w int) int {
+	if w < 1 {
+		return 0
+	}
+	return 2 * (w - 1)
+}

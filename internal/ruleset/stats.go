@@ -1,0 +1,170 @@
+package ruleset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ruleset feature statistics — the quantities feature-*reliant* classifiers
+// exploit (shared prefixes, few unique port ranges, low overlap) and the
+// paper's feature-independent engines ignore. The analyzer makes the
+// difference measurable: run it over any two same-size rulesets and the
+// engines' costs stay identical while these numbers swing.
+
+// FieldStats summarizes one dimension of a ruleset.
+type FieldStats struct {
+	Unique      int     // distinct values/ranges/prefixes
+	WildcardPct float64 // fraction of rules wildcarding the field (%)
+}
+
+// RulesetStats is the full feature report.
+type RulesetStats struct {
+	N     int
+	SIP   FieldStats
+	DIP   FieldStats
+	SP    FieldStats
+	DP    FieldStats
+	Proto FieldStats
+	// PrefixLenHistogram counts SIP/DIP prefix lengths combined.
+	PrefixLenHistogram [33]int
+	// AvgExpansion is the mean ternary entries per rule (range blow-up).
+	AvgExpansion float64
+	// OverlapSamplePct estimates the fraction of rule pairs whose match
+	// regions intersect, from a bounded sample — the density decision
+	// trees suffer under.
+	OverlapSamplePct float64
+}
+
+// Analyze computes the statistics.
+func Analyze(rs *RuleSet) RulesetStats {
+	s := RulesetStats{N: rs.Len()}
+	sipSet := map[Prefix]bool{}
+	dipSet := map[Prefix]bool{}
+	spSet := map[PortRange]bool{}
+	dpSet := map[PortRange]bool{}
+	protoSet := map[Protocol]bool{}
+	for _, r := range rs.Rules {
+		sipSet[r.SIP] = true
+		dipSet[r.DIP] = true
+		spSet[r.SP] = true
+		dpSet[r.DP] = true
+		protoSet[r.Proto] = true
+		if r.SIP.Wildcard() {
+			s.SIP.WildcardPct++
+		}
+		if r.DIP.Wildcard() {
+			s.DIP.WildcardPct++
+		}
+		if r.SP.Wildcard() {
+			s.SP.WildcardPct++
+		}
+		if r.DP.Wildcard() {
+			s.DP.WildcardPct++
+		}
+		if r.Proto.Wildcard() {
+			s.Proto.WildcardPct++
+		}
+		s.PrefixLenHistogram[r.SIP.Len]++
+		s.PrefixLenHistogram[r.DIP.Len]++
+	}
+	s.SIP.Unique = len(sipSet)
+	s.DIP.Unique = len(dipSet)
+	s.SP.Unique = len(spSet)
+	s.DP.Unique = len(dpSet)
+	s.Proto.Unique = len(protoSet)
+	if rs.Len() > 0 {
+		for _, f := range []*FieldStats{&s.SIP, &s.DIP, &s.SP, &s.DP, &s.Proto} {
+			f.WildcardPct = 100 * f.WildcardPct / float64(rs.Len())
+		}
+	}
+	s.AvgExpansion = rs.ExpansionFactor()
+	s.OverlapSamplePct = overlapSample(rs, 2000)
+	return s
+}
+
+// rulesOverlap reports whether two rules' match regions intersect.
+func rulesOverlap(a, b Rule) bool {
+	interPfx := func(p, q Prefix) bool {
+		l := p.Len
+		if q.Len < l {
+			l = q.Len
+		}
+		m := prefixMask(32, l)
+		return (p.Value^q.Value)&m == 0
+	}
+	interRange := func(p, q PortRange) bool {
+		return p.Lo <= q.Hi && q.Lo <= p.Hi
+	}
+	interProto := func(p, q Protocol) bool {
+		m := p.Mask & q.Mask
+		return (p.Value^q.Value)&m == 0
+	}
+	return interPfx(a.SIP, b.SIP) && interPfx(a.DIP, b.DIP) &&
+		interRange(a.SP, b.SP) && interRange(a.DP, b.DP) &&
+		interProto(a.Proto, b.Proto)
+}
+
+// overlapSample estimates pairwise overlap density over at most maxPairs
+// deterministic pairs (stride sampling, no RNG needed).
+func overlapSample(rs *RuleSet, maxPairs int) float64 {
+	n := rs.Len()
+	if n < 2 {
+		return 0
+	}
+	totalPairs := n * (n - 1) / 2
+	step := 1
+	if totalPairs > maxPairs {
+		step = totalPairs / maxPairs
+	}
+	hits, tried, idx := 0, 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if idx%step == 0 {
+				tried++
+				if rulesOverlap(rs.Rules[i], rs.Rules[j]) {
+					hits++
+				}
+			}
+			idx++
+		}
+	}
+	if tried == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(tried)
+}
+
+// String renders the report.
+func (s RulesetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ruleset features (N = %d)\n", s.N)
+	row := func(name string, f FieldStats) {
+		fmt.Fprintf(&b, "  %-6s unique %5d  wildcard %5.1f%%\n", name, f.Unique, f.WildcardPct)
+	}
+	row("SIP", s.SIP)
+	row("DIP", s.DIP)
+	row("SP", s.SP)
+	row("DP", s.DP)
+	row("PROTO", s.Proto)
+	fmt.Fprintf(&b, "  ternary expansion  %.2fx\n", s.AvgExpansion)
+	fmt.Fprintf(&b, "  pair overlap       %.1f%% (sampled)\n", s.OverlapSamplePct)
+	// Top prefix lengths.
+	type lh struct{ l, c int }
+	var hist []lh
+	for l, c := range s.PrefixLenHistogram {
+		if c > 0 {
+			hist = append(hist, lh{l, c})
+		}
+	}
+	sort.Slice(hist, func(i, j int) bool { return hist[i].c > hist[j].c })
+	if len(hist) > 5 {
+		hist = hist[:5]
+	}
+	b.WriteString("  top prefix lengths:")
+	for _, h := range hist {
+		fmt.Fprintf(&b, " /%d×%d", h.l, h.c)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package ruleset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	rs := SampleRuleSet()
+	s := Analyze(rs)
+	if s.N != 6 {
+		t.Fatalf("N = %d", s.N)
+	}
+	// The sample has one full-wildcard rule: every field shows some
+	// wildcard mass; SIP has 6 distinct prefixes.
+	if s.SIP.Unique != 6 {
+		t.Fatalf("SIP unique = %d", s.SIP.Unique)
+	}
+	if s.SP.WildcardPct < 50 {
+		t.Fatalf("SP wildcard%% = %.1f", s.SP.WildcardPct)
+	}
+	// The default rule overlaps everything: overlap > 0.
+	if s.OverlapSamplePct <= 0 {
+		t.Fatalf("overlap = %.1f", s.OverlapSamplePct)
+	}
+	if s.AvgExpansion < 1 {
+		t.Fatalf("expansion = %.2f", s.AvgExpansion)
+	}
+	out := s.String()
+	for _, want := range []string{"SIP", "PROTO", "ternary expansion", "top prefix lengths"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeDistinguishesProfiles(t *testing.T) {
+	const n = 400
+	fw := Analyze(Generate(GenConfig{N: n, Profile: FirewallProfile, Seed: 5}))
+	ff := Analyze(Generate(GenConfig{N: n, Profile: FeatureFree, Seed: 5}))
+	// Firewall rulesets reuse service ports: far fewer unique DP ranges.
+	if fw.DP.Unique >= ff.DP.Unique {
+		t.Fatalf("firewall DP unique %d >= feature-free %d", fw.DP.Unique, ff.DP.Unique)
+	}
+	// Feature-free has much higher overlap (wildcard-heavy random boxes).
+	if ff.OverlapSamplePct <= fw.OverlapSamplePct {
+		t.Fatalf("overlap: feature-free %.1f <= firewall %.1f",
+			ff.OverlapSamplePct, fw.OverlapSamplePct)
+	}
+}
+
+func TestRulesOverlap(t *testing.T) {
+	a := NewWildcardRule(Action{})
+	b := NewWildcardRule(Action{})
+	if !rulesOverlap(a, b) {
+		t.Fatal("wildcards must overlap")
+	}
+	c := a
+	c.SP = ExactPort(80)
+	d := a
+	d.SP = ExactPort(81)
+	if rulesOverlap(c, d) {
+		t.Fatal("disjoint ports overlap")
+	}
+	e := a
+	e.SIP = Prefix{Value: 0x0A000000, Bits: 32, Len: 8}
+	f := a
+	f.SIP = Prefix{Value: 0x0B000000, Bits: 32, Len: 8}
+	if rulesOverlap(e, f) {
+		t.Fatal("disjoint prefixes overlap")
+	}
+	g := a
+	g.SIP = Prefix{Value: 0x0A010000, Bits: 32, Len: 16} // inside e's /8
+	if !rulesOverlap(e, g) {
+		t.Fatal("nested prefixes must overlap")
+	}
+	h := a
+	h.Proto = ExactProtocol(6)
+	i := a
+	i.Proto = ExactProtocol(17)
+	if rulesOverlap(h, i) {
+		t.Fatal("disjoint protocols overlap")
+	}
+}
+
+func TestOverlapSampleSmall(t *testing.T) {
+	if got := overlapSample(New(nil), 100); got != 0 {
+		t.Fatalf("empty overlap = %v", got)
+	}
+	one := New([]Rule{NewWildcardRule(Action{})})
+	if got := overlapSample(one, 100); got != 0 {
+		t.Fatalf("single-rule overlap = %v", got)
+	}
+	two := New([]Rule{NewWildcardRule(Action{}), NewWildcardRule(Action{})})
+	if got := overlapSample(two, 100); got != 100 {
+		t.Fatalf("two wildcards overlap = %v", got)
+	}
+}

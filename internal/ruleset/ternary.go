@@ -1,0 +1,113 @@
+package ruleset
+
+import (
+	"fmt"
+	"strings"
+
+	"pktclass/internal/packet"
+)
+
+// Ternary is a 104-bit ternary word: for each bit position, Mask bit 1 means
+// the header bit must equal the Value bit; Mask bit 0 means don't-care.
+// This is exactly the data+mask pair a TCAM row stores (and why TCAM needs
+// twice the storage of a binary CAM, per the paper's Section V-B).
+type Ternary struct {
+	Value packet.Key
+	Mask  packet.Key
+}
+
+// MatchesKey reports whether the packed header matches the ternary word.
+func (t Ternary) MatchesKey(k packet.Key) bool {
+	for i := 0; i < packet.KeyBytes; i++ {
+		if (k[i]^t.Value[i])&t.Mask[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether the header matches the ternary word.
+func (t Ternary) Matches(h packet.Header) bool { return t.MatchesKey(h.Key()) }
+
+// Bit returns the ternary symbol at position i: '0', '1' or '*'.
+func (t Ternary) Bit(i int) byte {
+	if t.Mask.Bit(i) == 0 {
+		return '*'
+	}
+	if t.Value.Bit(i) == 1 {
+		return '1'
+	}
+	return '0'
+}
+
+// String renders the 104-symbol ternary string with '.' separators between
+// the five fields.
+func (t Ternary) String() string {
+	var b strings.Builder
+	b.Grow(packet.W + 4)
+	for i := 0; i < packet.W; i++ {
+		switch i {
+		case packet.DIPOff, packet.SPOff, packet.DPOff, packet.ProtoOff:
+			b.WriteByte('.')
+		}
+		b.WriteByte(t.Bit(i))
+	}
+	return b.String()
+}
+
+// ParseTernary parses a ternary word from the String format (separators
+// optional).
+func ParseTernary(s string) (Ternary, error) {
+	var t Ternary
+	i := 0
+	for _, c := range []byte(s) {
+		switch c {
+		case '.', ' ', '_':
+			continue
+		case '0', '1', '*':
+			if i >= packet.W {
+				return Ternary{}, fmt.Errorf("ruleset: ternary string longer than %d bits", packet.W)
+			}
+			if c != '*' {
+				t.Mask[i>>3] |= 1 << (7 - uint(i&7))
+				if c == '1' {
+					t.Value[i>>3] |= 1 << (7 - uint(i&7))
+				}
+			}
+			i++
+		default:
+			return Ternary{}, fmt.Errorf("ruleset: invalid ternary symbol %q", c)
+		}
+	}
+	if i != packet.W {
+		return Ternary{}, fmt.Errorf("ruleset: ternary string has %d bits, want %d", i, packet.W)
+	}
+	return t, nil
+}
+
+// setFieldBits writes the (value, mask) pair of a field into the ternary
+// word at the given bit offset, MSB of the field first.
+func (t *Ternary) setFieldBits(off, bits int, value, mask uint32) {
+	for b := 0; b < bits; b++ {
+		i := off + b
+		bit := uint(7 - i&7)
+		if mask>>uint(bits-1-b)&1 == 1 {
+			t.Mask[i>>3] |= 1 << bit
+			if value>>uint(bits-1-b)&1 == 1 {
+				t.Value[i>>3] |= 1 << bit
+			}
+		}
+	}
+}
+
+// ternaryFromPrefixes assembles a full ternary word from per-field
+// prefix/mask forms.
+func ternaryFromPrefixes(sip, dip Prefix, sp, dp Prefix, proto Protocol) Ternary {
+	var t Ternary
+	t.setFieldBits(packet.SIPOff, packet.SIPBits, sip.Value, sip.Mask())
+	t.setFieldBits(packet.DIPOff, packet.DIPBits, dip.Value, dip.Mask())
+	t.setFieldBits(packet.SPOff, packet.SPBits, sp.Value, sp.Mask())
+	t.setFieldBits(packet.DPOff, packet.DPBits, dp.Value, dp.Mask())
+	t.setFieldBits(packet.ProtoOff, packet.ProtoBits, uint32(proto.Value), uint32(proto.Mask))
+	return t
+}

@@ -1,0 +1,128 @@
+package ruleset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pktclass/internal/packet"
+)
+
+func TestTernaryFromPrefixesMatchesRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		r := genPrefixOnlyRule(rng) // expansion factor 1 by construction
+		entries := r.TernaryEntries()
+		if len(entries) != 1 {
+			t.Fatalf("prefix-only rule expanded to %d entries", len(entries))
+		}
+		tern := entries[0]
+		for probe := 0; probe < 30; probe++ {
+			var h packet.Header
+			if probe%2 == 0 {
+				h = RandomHeader(rng)
+			} else {
+				h = headerInRule(r, rng)
+			}
+			if tern.Matches(h) != r.Matches(h) {
+				t.Fatalf("rule %s vs ternary %s disagree on %s", r, tern, h)
+			}
+		}
+	}
+}
+
+func TestTernaryEntriesEquivalentToRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 150; trial++ {
+		r := genFeatureFreeRule(rng) // arbitrary ranges -> multi-entry expansion
+		entries := r.TernaryEntries()
+		if len(entries) != r.ExpansionFactor() {
+			t.Fatalf("entries %d != ExpansionFactor %d", len(entries), r.ExpansionFactor())
+		}
+		for probe := 0; probe < 30; probe++ {
+			var h packet.Header
+			if probe%2 == 0 {
+				h = RandomHeader(rng)
+			} else {
+				h = headerInRule(r, rng)
+			}
+			any := false
+			for _, e := range entries {
+				if e.Matches(h) {
+					any = true
+					break
+				}
+			}
+			if any != r.Matches(h) {
+				t.Fatalf("rule %s: union-of-entries=%v rule-match=%v for %s", r, any, r.Matches(h), h)
+			}
+		}
+	}
+}
+
+func TestTernaryStringFormat(t *testing.T) {
+	r := Rule{
+		SIP:   mustPfx(t, "255.0.0.0/8"),
+		DIP:   mustPfx(t, "0.0.0.0/0"),
+		SP:    ExactPort(0xFFFF),
+		DP:    FullPortRange,
+		Proto: ExactProtocol(0x00),
+	}
+	tern := r.TernaryEntries()[0]
+	s := tern.String()
+	want := "11111111" + strings.Repeat("*", 24) +
+		"." + strings.Repeat("*", 32) +
+		"." + strings.Repeat("1", 16) +
+		"." + strings.Repeat("*", 16) +
+		"." + strings.Repeat("0", 8)
+	if s != want {
+		t.Fatalf("ternary string\n got %s\nwant %s", s, want)
+	}
+}
+
+func TestParseTernaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		r := genFeatureFreeRule(rng)
+		for _, e := range r.TernaryEntries() {
+			back, err := ParseTernary(e.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != e {
+				t.Fatalf("round trip failed for %s", e)
+			}
+		}
+	}
+}
+
+func TestParseTernaryErrors(t *testing.T) {
+	if _, err := ParseTernary("01*"); err == nil {
+		t.Fatal("accepted short string")
+	}
+	if _, err := ParseTernary(strings.Repeat("2", packet.W)); err == nil {
+		t.Fatal("accepted invalid symbol")
+	}
+	if _, err := ParseTernary(strings.Repeat("1", packet.W+1)); err == nil {
+		t.Fatal("accepted long string")
+	}
+}
+
+func TestTernaryBit(t *testing.T) {
+	tern, err := ParseTernary(strings.Repeat("1", 8) + strings.Repeat("0", 8) + strings.Repeat("*", packet.W-16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tern.Bit(0) != '1' || tern.Bit(8) != '0' || tern.Bit(20) != '*' {
+		t.Fatalf("Bit values wrong: %c %c %c", tern.Bit(0), tern.Bit(8), tern.Bit(20))
+	}
+}
+
+func mustPfx(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParseIPv4Prefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

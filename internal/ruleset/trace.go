@@ -1,0 +1,85 @@
+package ruleset
+
+import (
+	"math/rand"
+
+	"pktclass/internal/packet"
+)
+
+// TraceConfig parameterizes synthetic header trace generation.
+type TraceConfig struct {
+	// Count is the number of headers to generate.
+	Count int
+	// MatchFraction in [0,1] is the fraction of headers deliberately drawn
+	// to hit some rule; the rest are uniform random (and may still match
+	// wildcard-heavy rules).
+	MatchFraction float64
+	// Locality in [0,1): probability that a header repeats the previous
+	// directed rule choice, modelling flow locality in real traffic.
+	Locality float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// GenerateTrace draws headers against the ruleset. Directed headers sample a
+// rule uniformly (subject to Locality) and then draw a header inside that
+// rule's 5-dimensional match region; note a directed header can still be
+// claimed by a higher-priority rule — priority resolution is the engines'
+// job, not the generator's.
+func GenerateTrace(rs *RuleSet, cfg TraceConfig) []packet.Header {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]packet.Header, 0, cfg.Count)
+	lastRule := -1
+	for i := 0; i < cfg.Count; i++ {
+		if rng.Float64() < cfg.MatchFraction && rs.Len() > 0 {
+			ri := lastRule
+			if ri < 0 || rng.Float64() >= cfg.Locality {
+				ri = rng.Intn(rs.Len())
+			}
+			lastRule = ri
+			out = append(out, headerInRule(rs.Rules[ri], rng))
+		} else {
+			lastRule = -1
+			out = append(out, RandomHeader(rng))
+		}
+	}
+	return out
+}
+
+// RandomHeader draws a uniform random header.
+func RandomHeader(rng *rand.Rand) packet.Header {
+	return packet.Header{
+		SIP:   rng.Uint32(),
+		DIP:   rng.Uint32(),
+		SP:    uint16(rng.Intn(65536)),
+		DP:    uint16(rng.Intn(65536)),
+		Proto: uint8(rng.Intn(256)),
+	}
+}
+
+// headerInRule draws a header uniformly from the rule's match region.
+func headerInRule(r Rule, rng *rand.Rand) packet.Header {
+	inPrefix := func(p Prefix) uint32 {
+		free := uint(p.Bits - p.Len)
+		if free == 0 {
+			return p.Value
+		}
+		return p.Value | (rng.Uint32() & ((1 << free) - 1))
+	}
+	inRange := func(pr PortRange) uint16 {
+		span := int(pr.Hi) - int(pr.Lo) + 1
+		return pr.Lo + uint16(rng.Intn(span))
+	}
+	proto := r.Proto.Value
+	if r.Proto.Mask != 0xFF {
+		// Fill don't-care protocol bits randomly.
+		proto = (r.Proto.Value & r.Proto.Mask) | (uint8(rng.Intn(256)) &^ r.Proto.Mask)
+	}
+	return packet.Header{
+		SIP:   inPrefix(r.SIP),
+		DIP:   inPrefix(r.DIP),
+		SP:    inRange(r.SP),
+		DP:    inRange(r.DP),
+		Proto: proto,
+	}
+}

@@ -1,0 +1,107 @@
+package stridebv
+
+import (
+	"testing"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+func TestParallelValidation(t *testing.T) {
+	_, ex := genSet(t, 16, ruleset.PrefixOnly, 41)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewParallel(e, 0); err == nil {
+		t.Fatal("accepted 0 lanes")
+	}
+	if _, err := NewParallel(e, 65); err == nil {
+		t.Fatal("accepted 65 lanes")
+	}
+}
+
+func TestParallelMemoryAccounting(t *testing.T) {
+	// The paper's Section V-B example: 6 lanes on dual-ported memories
+	// need a multiplication factor of 3.
+	_, ex := genSet(t, 64, ruleset.PrefixOnly, 42)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParallel(e, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemoryCopies() != 3 {
+		t.Fatalf("6 lanes -> %d copies, want 3", p.MemoryCopies())
+	}
+	if p.MemoryBits() != 3*e.MemoryBits() {
+		t.Fatalf("memory factor wrong: %d vs 3x%d", p.MemoryBits(), e.MemoryBits())
+	}
+	if p.Lanes() != 6 || p.String() == "" {
+		t.Fatal("accessors wrong")
+	}
+	// Odd lane counts round the copy count up.
+	p5, _ := NewParallel(e, 5)
+	if p5.MemoryCopies() != 3 {
+		t.Fatalf("5 lanes -> %d copies, want 3", p5.MemoryCopies())
+	}
+}
+
+func TestParallelResultsMatchFunctional(t *testing.T) {
+	rs, ex := genSet(t, 48, ruleset.FirewallProfile, 43)
+	e, err := New(ex, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 777, MatchFraction: 0.8, Seed: 13})
+	keys := make([]packet.Key, len(trace))
+	for i, h := range trace {
+		keys[i] = h.Key()
+	}
+	for _, lanes := range []int{1, 2, 4, 8} {
+		p, err := NewParallel(e, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, cycles := p.Run(keys)
+		if cycles <= 0 {
+			t.Fatalf("lanes=%d: no cycles counted", lanes)
+		}
+		for i, h := range trace {
+			if want := e.Classify(h); results[i] != want {
+				t.Fatalf("lanes=%d packet %d: %d != %d", lanes, i, results[i], want)
+			}
+		}
+	}
+}
+
+func TestParallelScalesCycles(t *testing.T) {
+	// 8 lanes should finish a long trace in roughly a quarter of the
+	// cycles 2 lanes need.
+	_, ex := genSet(t, 32, ruleset.PrefixOnly, 44)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2 := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.PrefixOnly, Seed: 44, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs2, ruleset.TraceConfig{Count: 4000, MatchFraction: 0.9, Seed: 14})
+	keys := make([]packet.Key, len(trace))
+	for i, h := range trace {
+		keys[i] = h.Key()
+	}
+	run := func(lanes int) int64 {
+		p, err := NewParallel(e, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cycles := p.Run(keys)
+		return cycles
+	}
+	c2, c8 := run(2), run(8)
+	ratio := float64(c2) / float64(c8)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("2->8 lane speedup %.2fx, want ~4x (%d vs %d cycles)", ratio, c2, c8)
+	}
+}

@@ -1,0 +1,83 @@
+package stridebv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pktclass/internal/ruleset"
+)
+
+// TestQuickEngineEqualsTernarySemantics drives randomized rulesets,
+// strides and headers through the engine and checks the ternary-expansion
+// ground truth.
+func TestQuickEngineEqualsTernarySemantics(t *testing.T) {
+	f := func(seed int64, kSeed, nSeed uint8) bool {
+		k := int(kSeed%8) + 1
+		n := int(nSeed%30) + 2
+		rs := ruleset.Generate(ruleset.GenConfig{
+			N: n, Profile: ruleset.Profile(int(seed&3) % 3), Seed: seed, DefaultRule: seed%2 == 0,
+		})
+		ex := rs.Expand()
+		e, err := New(ex, k)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < 20; i++ {
+			h := ruleset.RandomHeader(rng)
+			if e.Classify(h) != ex.FirstMatch(h.Key()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClassify exercises the documented guarantee that Classify
+// is safe for concurrent readers (run with -race to catch violations).
+func TestConcurrentClassify(t *testing.T) {
+	rs, ex := genSet(t, 64, ruleset.FirewallProfile, 71)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 400, MatchFraction: 0.8, Seed: 72})
+	want := make([]int, len(trace))
+	for i, h := range trace {
+		want[i] = e.Classify(h)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := range trace {
+				j := (i + off) % len(trace)
+				if e.Classify(trace[j]) != want[j] {
+					select {
+					case errs <- errMismatch:
+					default:
+					}
+					return
+				}
+			}
+		}(w * 13)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errorString("concurrent Classify mismatch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

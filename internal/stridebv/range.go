@@ -1,0 +1,198 @@
+package stridebv
+
+import (
+	"fmt"
+
+	"pktclass/internal/bitvec"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// RangeEngine is the StrideBV variant with explicit range-search modules —
+// the extension the StrideBV line of work proposed to avoid range-to-prefix
+// expansion entirely (the paper's Section II notes a single rule can blow up
+// to 4(w-1)^2 ternary entries; this module keeps Ne == N).
+//
+// The prefix-matchable 72 bits (SIP, DIP, protocol) go through ordinary
+// k-bit stride stages; each port field gets one dedicated range stage that
+// compares the header port against the N stored [lo,hi] bounds in parallel
+// and emits an N-bit match vector, ANDed into the pipeline like any other
+// stage.
+type RangeEngine struct {
+	rs     *ruleset.RuleSet
+	k      int
+	stages int // stride stages over the 72 prefix bits
+	n      int
+	mem    [][]bitvec.Vector // [stage][2^k] vectors of n bits
+	spLo   []uint16
+	spHi   []uint16
+	dpLo   []uint16
+	dpHi   []uint16
+}
+
+// prefixBits is the width of the stride-searchable portion (SIP+DIP+proto).
+const prefixBits = packet.SIPBits + packet.DIPBits + packet.ProtoBits // 72
+
+// NewRange builds a range-module StrideBV engine with stride k.
+func NewRange(rs *ruleset.RuleSet, k int) (*RangeEngine, error) {
+	if k < MinStride || k > MaxStride {
+		return nil, fmt.Errorf("stridebv: stride %d outside [%d,%d]", k, MinStride, MaxStride)
+	}
+	if rs.Len() == 0 {
+		return nil, fmt.Errorf("stridebv: empty ruleset")
+	}
+	n := rs.Len()
+	e := &RangeEngine{
+		rs:     rs,
+		k:      k,
+		stages: (prefixBits + k - 1) / k,
+		n:      n,
+		spLo:   make([]uint16, n),
+		spHi:   make([]uint16, n),
+		dpLo:   make([]uint16, n),
+		dpHi:   make([]uint16, n),
+	}
+	e.mem = make([][]bitvec.Vector, e.stages)
+	for s := range e.mem {
+		e.mem[s] = make([]bitvec.Vector, 1<<uint(k))
+		for c := range e.mem[s] {
+			e.mem[s][c] = bitvec.New(n)
+		}
+	}
+	for j, r := range rs.Rules {
+		e.spLo[j], e.spHi[j] = r.SP.Lo, r.SP.Hi
+		e.dpLo[j], e.dpHi[j] = r.DP.Lo, r.DP.Hi
+		val, mask := prefixPartTernary(r)
+		for s := 0; s < e.stages; s++ {
+			for c := 0; c < 1<<uint(k); c++ {
+				e.mem[s][c].SetTo(j, strideCompatible(val, mask, prefixBits, s, k, c))
+			}
+		}
+	}
+	return e, nil
+}
+
+// prefixPartTernary packs SIP|DIP|proto of a rule into 72-bit value/mask
+// arrays (9 bytes, MSB-first like packet.Key).
+func prefixPartTernary(r ruleset.Rule) (val, mask [9]byte) {
+	put32 := func(off int, v, m uint32) {
+		for b := 0; b < 32; b++ {
+			i := off + b
+			if m>>uint(31-b)&1 == 1 {
+				mask[i>>3] |= 1 << (7 - uint(i&7))
+				if v>>uint(31-b)&1 == 1 {
+					val[i>>3] |= 1 << (7 - uint(i&7))
+				}
+			}
+		}
+	}
+	put32(0, r.SIP.Value, r.SIP.Mask())
+	put32(32, r.DIP.Value, r.DIP.Mask())
+	for b := 0; b < 8; b++ {
+		i := 64 + b
+		if r.Proto.Mask>>uint(7-b)&1 == 1 {
+			mask[i>>3] |= 1 << (7 - uint(i&7))
+			if r.Proto.Value>>uint(7-b)&1 == 1 {
+				val[i>>3] |= 1 << (7 - uint(i&7))
+			}
+		}
+	}
+	return val, mask
+}
+
+// strideCompatible checks a k-bit stride value c at stage s against a
+// ternary bit string of width w stored in MSB-first byte arrays.
+func strideCompatible(val, mask [9]byte, w, s, k, c int) bool {
+	for b := 0; b < k; b++ {
+		i := s*k + b
+		cbit := byte(c >> uint(k-1-b) & 1)
+		if i >= w {
+			if cbit != 0 {
+				return false
+			}
+			continue
+		}
+		mbit := mask[i>>3] >> (7 - uint(i&7)) & 1
+		vbit := val[i>>3] >> (7 - uint(i&7)) & 1
+		if mbit == 1 && vbit != cbit {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixKey extracts the 72 stride-searchable header bits in engine order.
+func prefixKey(h packet.Header) [9]byte {
+	var k [9]byte
+	k[0] = byte(h.SIP >> 24)
+	k[1] = byte(h.SIP >> 16)
+	k[2] = byte(h.SIP >> 8)
+	k[3] = byte(h.SIP)
+	k[4] = byte(h.DIP >> 24)
+	k[5] = byte(h.DIP >> 16)
+	k[6] = byte(h.DIP >> 8)
+	k[7] = byte(h.DIP)
+	k[8] = h.Proto
+	return k
+}
+
+func strideOf(key [9]byte, off, k, w int) int {
+	v := 0
+	for b := 0; b < k; b++ {
+		v <<= 1
+		if i := off + b; i < w {
+			v |= int(key[i>>3] >> (7 - uint(i&7)) & 1)
+		}
+	}
+	return v
+}
+
+// Name identifies the engine.
+func (e *RangeEngine) Name() string { return fmt.Sprintf("stridebv-range-k%d", e.k) }
+
+// NumRules returns N; the vector width equals it (no expansion).
+func (e *RangeEngine) NumRules() int { return e.n }
+
+// Stages returns the total pipeline depth: stride stages plus the two
+// range-module stages.
+func (e *RangeEngine) Stages() int { return e.stages + 2 }
+
+// MemoryBits counts stage memory plus the range modules' bound registers
+// (4 × 16 bits per rule).
+func (e *RangeEngine) MemoryBits() int {
+	return e.stages*(1<<uint(e.k))*e.n + 4*16*e.n
+}
+
+// MatchVector computes the final multi-match vector for a header.
+func (e *RangeEngine) MatchVector(h packet.Header) bitvec.Vector {
+	key := prefixKey(h)
+	acc := e.mem[0][strideOf(key, 0, e.k, prefixBits)].Clone()
+	for s := 1; s < e.stages; s++ {
+		acc.AndWith(e.mem[s][strideOf(key, s*e.k, e.k, prefixBits)])
+	}
+	// Range modules: N parallel comparators per port field.
+	for j := 0; j < e.n; j++ {
+		if acc.Get(j) {
+			if h.SP < e.spLo[j] || h.SP > e.spHi[j] || h.DP < e.dpLo[j] || h.DP > e.dpHi[j] {
+				acc.Clear(j)
+			}
+		}
+	}
+	return acc
+}
+
+// Classify returns the highest-priority matching rule index, or -1.
+func (e *RangeEngine) Classify(h packet.Header) int {
+	return e.MatchVector(h).FirstSet()
+}
+
+// MultiMatch returns all matching rule indices in priority order.
+func (e *RangeEngine) MultiMatch(h packet.Header) []int {
+	return e.MatchVector(h).SetBits()
+}
+
+// String summarises the configuration.
+func (e *RangeEngine) String() string {
+	return fmt.Sprintf("%s{strideStages=%d rangeStages=2 rules=%d mem=%dKbit}",
+		e.Name(), e.stages, e.n, e.MemoryBits()/1024)
+}

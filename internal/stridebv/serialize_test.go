@@ -1,0 +1,120 @@
+package stridebv
+
+import (
+	"bytes"
+	"testing"
+
+	"pktclass/internal/ruleset"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		rs, ex := genSet(t, 70, ruleset.FirewallProfile, 91)
+		e, err := New(ex, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.WriteImage(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadImage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Stride() != k || back.Stages() != e.Stages() ||
+			back.NumEntries() != e.NumEntries() || back.NumRules() != e.NumRules() {
+			t.Fatalf("k=%d: geometry lost", k)
+		}
+		trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 400, MatchFraction: 0.8, Seed: 92})
+		for _, h := range trace {
+			if back.Classify(h) != e.Classify(h) {
+				t.Fatalf("k=%d: loaded engine diverges on %s", k, h)
+			}
+			a, b := back.MultiMatch(h), e.MultiMatch(h)
+			if len(a) != len(b) {
+				t.Fatalf("k=%d: MultiMatch diverges", k)
+			}
+		}
+	}
+}
+
+func TestImageUpdateAfterLoad(t *testing.T) {
+	_, ex := genSet(t, 32, ruleset.PrefixOnly, 93)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded engine accepts incremental updates.
+	if err := back.UpdateEntry(3, ex.Entries[10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UpdateEntry(3, ex.Entries[10]); err != nil {
+		t.Fatal(err)
+	}
+	rs2 := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.PrefixOnly, Seed: 93, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs2, ruleset.TraceConfig{Count: 200, MatchFraction: 0.7, Seed: 94})
+	for _, h := range trace {
+		if back.Classify(h) != e.Classify(h) {
+			t.Fatalf("post-update divergence on %s", h)
+		}
+	}
+}
+
+func TestImageErrors(t *testing.T) {
+	_, ex := genSet(t, 16, ruleset.PrefixOnly, 95)
+	e, err := New(ex, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadImage(bytes.NewReader(good[:10])); err == nil {
+		t.Fatal("accepted short header")
+	}
+	bad := append([]byte{}, good...)
+	copy(bad, "XXXX")
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	bad = append([]byte{}, good...)
+	bad[4] = 99 // stride
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad stride")
+	}
+	bad = append([]byte{}, good...)
+	bad[6] = 1 // stages mismatch
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted wrong stage count")
+	}
+	if _, err := ReadImage(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+	// Parent out of range.
+	bad = append([]byte{}, good...)
+	bad[16] = 0xFF
+	bad[17] = 0xFF
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted out-of-range parent")
+	}
+	// Tail bit beyond ne (ne=16+: find last word of first vector).
+	bad = append([]byte{}, good...)
+	vecStart := 16 + 4*e.NumEntries()
+	// Set the top bit of the first vector's last (only) word.
+	bad[vecStart+7] |= 0x80
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted tail garbage")
+	}
+}

@@ -1,0 +1,187 @@
+// Package stridebv implements the FSBV and StrideBV bit-vector packet
+// classification algorithms (the paper's Section III-A and IV-A).
+//
+// StrideBV decomposes the W-bit packed 5-tuple into ceil(W/k) sub-fields of
+// k bits ("strides"). Each pipeline stage s stores 2^k bit vectors of Ne
+// bits: the vector at address c has bit j set iff ternary entry j is
+// compatible with stride value c on bits [sk, sk+k). A header's stride
+// values address the stage memories and the fetched vectors are ANDed;
+// the surviving bits are the entries matching in *all* positions — exactly
+// TCAM semantics — and the first set bit is the highest-priority match.
+//
+// FSBV is the k=1 special case (one bit per sub-field, two vectors per
+// stage).
+//
+// The memory requirement is ceil(W/k)·2^k·Ne bits, uniform across stages —
+// the property that lets the architecture run at a clock rate no single
+// stage limits (paper Section III-A3).
+package stridebv
+
+import (
+	"fmt"
+
+	"pktclass/internal/bitvec"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// Engine is a functional StrideBV classifier over a ternary-expanded
+// ruleset.
+type Engine struct {
+	ex     *ruleset.Expanded
+	k      int
+	stages int
+	ne     int
+	// mem[s][c] is the Ne-bit vector for stride value c at stage s.
+	mem [][]bitvec.Vector
+}
+
+// MinStride and MaxStride bound supported stride lengths. The paper uses 3
+// and 4; larger strides square the per-stage memory (2^k growth), smaller
+// ones add stages.
+const (
+	MinStride = 1
+	MaxStride = 8
+)
+
+// New builds a StrideBV engine with stride k over the expanded ruleset.
+func New(ex *ruleset.Expanded, k int) (*Engine, error) {
+	if k < MinStride || k > MaxStride {
+		return nil, fmt.Errorf("stridebv: stride %d outside [%d,%d]", k, MinStride, MaxStride)
+	}
+	if ex.Len() == 0 {
+		return nil, fmt.Errorf("stridebv: empty ruleset")
+	}
+	e := &Engine{
+		ex:     ex,
+		k:      k,
+		stages: packet.NumStrides(k),
+		ne:     ex.Len(),
+	}
+	e.mem = make([][]bitvec.Vector, e.stages)
+	for s := range e.mem {
+		e.mem[s] = make([]bitvec.Vector, 1<<uint(k))
+		for c := range e.mem[s] {
+			e.mem[s][c] = bitvec.New(e.ne)
+		}
+	}
+	for j, entry := range ex.Entries {
+		e.writeEntry(j, entry)
+	}
+	return e, nil
+}
+
+// NewFSBV builds the k=1 Field-Split Bit Vector engine.
+func NewFSBV(ex *ruleset.Expanded) (*Engine, error) { return New(ex, 1) }
+
+// writeEntry sets entry j's bit in every compatible (stage, value) vector.
+func (e *Engine) writeEntry(j int, entry ruleset.Ternary) {
+	for s := 0; s < e.stages; s++ {
+		for c := 0; c < 1<<uint(e.k); c++ {
+			e.mem[s][c].SetTo(j, e.compatible(entry, s, c))
+		}
+	}
+}
+
+// compatible reports whether stride value c at stage s can match entry.
+// Bits past W (final-stage padding) only match the zero padding the header
+// side generates.
+func (e *Engine) compatible(entry ruleset.Ternary, s, c int) bool {
+	for b := 0; b < e.k; b++ {
+		i := s*e.k + b
+		cbit := c >> uint(e.k-1-b) & 1
+		if i >= packet.W {
+			// Header stride padding is always 0.
+			if cbit != 0 {
+				return false
+			}
+			continue
+		}
+		if entry.Mask.Bit(i) == 1 && entry.Value.Bit(i) != cbit {
+			return false
+		}
+	}
+	return true
+}
+
+// Name identifies the engine, including its stride.
+func (e *Engine) Name() string { return fmt.Sprintf("stridebv-k%d", e.k) }
+
+// Stride returns k.
+func (e *Engine) Stride() int { return e.k }
+
+// Stages returns the pipeline depth ceil(W/k).
+func (e *Engine) Stages() int { return e.stages }
+
+// NumRules returns the original rule count N.
+func (e *Engine) NumRules() int { return e.ex.NumRules }
+
+// NumEntries returns the bit-vector width Ne.
+func (e *Engine) NumEntries() int { return e.ne }
+
+// MemoryBits returns the total stage-memory requirement in bits:
+// stages × 2^k × Ne.
+func (e *Engine) MemoryBits() int { return e.stages * (1 << uint(e.k)) * e.ne }
+
+// MatchVector computes the final multi-match bit vector for a packed
+// header: the AND of every stage's addressed vector.
+func (e *Engine) MatchVector(key packet.Key) bitvec.Vector {
+	acc := e.mem[0][key.Stride(0, e.k)].Clone()
+	for s := 1; s < e.stages; s++ {
+		acc.AndWith(e.mem[s][key.Stride(s*e.k, e.k)])
+	}
+	return acc
+}
+
+// Classify returns the highest-priority matching rule index, or -1.
+func (e *Engine) Classify(h packet.Header) int {
+	entry := e.MatchVector(h.Key()).FirstSet()
+	if entry < 0 {
+		return -1
+	}
+	return e.ex.Parent[entry]
+}
+
+// MultiMatch returns every matching rule index in priority order.
+func (e *Engine) MultiMatch(h packet.Header) []int {
+	return e.ex.ParentRules(e.MatchVector(h.Key()).SetBits())
+}
+
+// UpdateEntry reprograms ternary entry j in place: one bit-slice write per
+// stage memory, the incremental-update property of the bit-vector approach
+// (no global rebuild required).
+func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
+	if j < 0 || j >= e.ne {
+		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
+	}
+	e.ex.Entries[j] = entry
+	e.writeEntry(j, entry)
+	return nil
+}
+
+// InvalidateEntry disables entry j: its bit is cleared in every stage
+// vector, so it can never survive the pipeline AND.
+func (e *Engine) InvalidateEntry(j int) error {
+	if j < 0 || j >= e.ne {
+		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
+	}
+	for s := range e.mem {
+		for c := range e.mem[s] {
+			e.mem[s][c].Clear(j)
+		}
+	}
+	return nil
+}
+
+// StageVector exposes the stored vector at (stage, value) for tests and the
+// hardware-model netlist builder.
+func (e *Engine) StageVector(s, c int) bitvec.Vector { return e.mem[s][c] }
+
+// Expanded returns the underlying expanded ruleset.
+func (e *Engine) Expanded() *ruleset.Expanded { return e.ex }
+
+// String summarises the engine configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("%s{stages=%d entries=%d mem=%dKbit}",
+		e.Name(), e.stages, e.ne, e.MemoryBits()/1024)
+}

@@ -1,0 +1,122 @@
+package tcam
+
+import (
+	"fmt"
+
+	"pktclass/internal/srl"
+)
+
+// BCAM is a binary CAM: exact-match only, no wildcards (the paper's
+// Section III-B: "a TCAM is able to handle wildcards while BCAMs can only
+// handle binary strings"). The classic use is an L2 MAC table. Built on
+// the same SRL16E primitive as the TCAM, but since there is no mask, one
+// SRL16E covers 4 stored bits (its 16-entry truth table is the one-hot of
+// the stored nibble), halving the cell count per bit relative to ternary.
+type BCAM struct {
+	width int // key width in bits (multiple of 4)
+	cells [][]srl.SRL16E
+	valid []bool
+	keys  [][]byte // shadow for read-back
+}
+
+// NewBCAM creates a binary CAM with the given entry capacity and key
+// width in bits (rounded up to a nibble boundary).
+func NewBCAM(entries, widthBits int) (*BCAM, error) {
+	if entries < 1 {
+		return nil, fmt.Errorf("tcam: bcam capacity %d", entries)
+	}
+	if widthBits < 1 {
+		return nil, fmt.Errorf("tcam: bcam width %d", widthBits)
+	}
+	widthBits = (widthBits + 3) &^ 3
+	b := &BCAM{
+		width: widthBits,
+		cells: make([][]srl.SRL16E, entries),
+		valid: make([]bool, entries),
+		keys:  make([][]byte, entries),
+	}
+	for i := range b.cells {
+		b.cells[i] = make([]srl.SRL16E, widthBits/4)
+	}
+	return b, nil
+}
+
+// Width returns the key width in bits.
+func (b *BCAM) Width() int { return b.width }
+
+// Capacity returns the entry count.
+func (b *BCAM) Capacity() int { return len(b.cells) }
+
+// CellsPerEntry returns SRL16Es per entry: width/4 (vs width/2 ternary).
+func (b *BCAM) CellsPerEntry() int { return b.width / 4 }
+
+// nibble extracts the c-th 4-bit group of a key (MSB-first bytes).
+func nibble(key []byte, c int) uint8 {
+	by := key[c/2]
+	if c%2 == 0 {
+		return by >> 4
+	}
+	return by & 0x0F
+}
+
+// Write programs entry idx with the key (16 shift cycles, as for TCAM).
+// The key must have width/8 bytes.
+func (b *BCAM) Write(idx int, key []byte) (int, error) {
+	if idx < 0 || idx >= len(b.cells) {
+		return 0, fmt.Errorf("tcam: bcam entry %d out of range", idx)
+	}
+	if len(key)*8 != b.width {
+		return 0, fmt.Errorf("tcam: bcam key %d bytes, want %d", len(key), b.width/8)
+	}
+	for c := range b.cells[idx] {
+		// One-hot truth table: match only the stored nibble.
+		b.cells[idx][c].Load(1 << nibble(key, c))
+	}
+	b.keys[idx] = append([]byte(nil), key...)
+	b.valid[idx] = true
+	return WriteCycles, nil
+}
+
+// Invalidate disables an entry.
+func (b *BCAM) Invalidate(idx int) error {
+	if idx < 0 || idx >= len(b.cells) {
+		return fmt.Errorf("tcam: bcam entry %d out of range", idx)
+	}
+	b.valid[idx] = false
+	return nil
+}
+
+// Search returns the lowest-indexed entry equal to the key, or -1.
+func (b *BCAM) Search(key []byte) int {
+	if len(key)*8 != b.width {
+		return -1
+	}
+	for i := range b.cells {
+		if !b.valid[i] {
+			continue
+		}
+		hit := true
+		for c := range b.cells[i] {
+			if !b.cells[i][c].Read(nibble(key, c)) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return i
+		}
+	}
+	return -1
+}
+
+// Read returns the stored key of an entry.
+func (b *BCAM) Read(idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(b.cells) || !b.valid[idx] {
+		return nil, fmt.Errorf("tcam: bcam entry %d not programmed", idx)
+	}
+	return append([]byte(nil), b.keys[idx]...), nil
+}
+
+// MemoryBits returns the storage of a BCAM: width bits per entry (no mask
+// plane — half the TCAM requirement, the Section V-B comparison point).
+func (b *BCAM) MemoryBits() int { return b.width * len(b.cells) }

@@ -1,0 +1,123 @@
+package tcam
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBCAMValidation(t *testing.T) {
+	if _, err := NewBCAM(0, 48); err == nil {
+		t.Fatal("accepted 0 entries")
+	}
+	if _, err := NewBCAM(4, 0); err == nil {
+		t.Fatal("accepted 0 width")
+	}
+	b, err := NewBCAM(4, 46) // rounds to 48
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Width() != 48 || b.Capacity() != 4 || b.CellsPerEntry() != 12 {
+		t.Fatalf("geometry: w=%d cap=%d cells=%d", b.Width(), b.Capacity(), b.CellsPerEntry())
+	}
+	if _, err := b.Write(0, []byte{1, 2}); err == nil {
+		t.Fatal("accepted short key")
+	}
+	if _, err := b.Write(9, make([]byte, 6)); err == nil {
+		t.Fatal("accepted out-of-range entry")
+	}
+}
+
+func TestBCAMMACTable(t *testing.T) {
+	// An L2 forwarding table: MAC -> port (= entry index).
+	b, err := NewBCAM(16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	macs := make([][]byte, 16)
+	for i := range macs {
+		m := make([]byte, 6)
+		rng.Read(m)
+		macs[i] = m
+		cycles, err := b.Write(i, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != WriteCycles {
+			t.Fatalf("write took %d cycles", cycles)
+		}
+	}
+	for i, m := range macs {
+		if got := b.Search(m); got != i {
+			t.Fatalf("Search(mac %d) = %d", i, got)
+		}
+		back, err := b.Read(i)
+		if err != nil || !bytes.Equal(back, m) {
+			t.Fatalf("Read(%d) = %x, %v", i, back, err)
+		}
+	}
+	// Unknown MAC: miss.
+	unknown := make([]byte, 6)
+	rng.Read(unknown)
+	hit := false
+	for _, m := range macs {
+		if bytes.Equal(m, unknown) {
+			hit = true
+		}
+	}
+	if !hit && b.Search(unknown) != -1 {
+		t.Fatal("phantom match for unknown MAC")
+	}
+	// No wildcards: flipping any single bit must miss.
+	m := append([]byte(nil), macs[3]...)
+	m[2] ^= 0x10
+	if got := b.Search(m); got == 3 {
+		t.Fatal("BCAM matched a 1-bit-different key")
+	}
+	// Wrong-width key.
+	if b.Search([]byte{1}) != -1 {
+		t.Fatal("short key matched")
+	}
+}
+
+func TestBCAMInvalidate(t *testing.T) {
+	b, _ := NewBCAM(2, 8)
+	if _, err := b.Write(0, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Search([]byte{0xAB}) != 0 {
+		t.Fatal("miss after write")
+	}
+	if err := b.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Search([]byte{0xAB}) != -1 {
+		t.Fatal("match after invalidate")
+	}
+	if _, err := b.Read(0); err == nil {
+		t.Fatal("read of invalidated entry accepted")
+	}
+	if err := b.Invalidate(5); err == nil {
+		t.Fatal("invalidate out of range accepted")
+	}
+}
+
+func TestBCAMHalfTheTCAMMemory(t *testing.T) {
+	// Section V-B: the TCAM plane is double a regular CAM's because of
+	// the mask bits.
+	b, _ := NewBCAM(512, 104)
+	tern := MemoryBits(512, 104)
+	if b.MemoryBits()*2 != tern {
+		t.Fatalf("BCAM %d bits, TCAM %d bits; want exactly half", b.MemoryBits(), tern)
+	}
+}
+
+func TestBCAMDuplicateKeysPriority(t *testing.T) {
+	b, _ := NewBCAM(4, 8)
+	b.Write(2, []byte{0x55})
+	b.Write(1, []byte{0x55})
+	if got := b.Search([]byte{0x55}); got != 1 {
+		t.Fatalf("duplicate priority = %d, want lowest index 1", got)
+	}
+}

@@ -1,0 +1,64 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pktclass/internal/ruleset"
+)
+
+// TestQuickBehavioralEqualsExpansion checks the behavioral TCAM against
+// the ternary expansion's own FirstMatch over randomized rulesets.
+func TestQuickBehavioralEqualsExpansion(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed%40) + 2
+		rs := ruleset.Generate(ruleset.GenConfig{
+			N: n, Profile: ruleset.Profile(int(seed&3) % 3), Seed: seed, DefaultRule: seed%2 == 0,
+		})
+		ex := rs.Expand()
+		eng := NewBehavioral(ex)
+		rng := rand.New(rand.NewSource(seed + 7))
+		for i := 0; i < 20; i++ {
+			h := ruleset.RandomHeader(rng)
+			if eng.Classify(h) != ex.FirstMatch(h.Key()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartitionedEqualsBehavioral randomizes the pre-decoder
+// geometry as well as the ruleset.
+func TestQuickPartitionedEqualsBehavioral(t *testing.T) {
+	f := func(seed int64, offSeed, bitsSeed, copiesSeed uint8) bool {
+		bits := int(bitsSeed%8) + 1
+		off := int(offSeed) % (104 - bits)
+		rs := ruleset.Generate(ruleset.GenConfig{
+			N: 24, Profile: ruleset.FirewallProfile, Seed: seed, DefaultRule: true,
+		})
+		ex := rs.Expand()
+		ref := NewBehavioral(ex)
+		part, err := NewPartitioned(ex, PartitionConfig{
+			IndexOff: off, IndexBits: bits, MaxCopies: int(copiesSeed%8) + 1,
+		})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 9))
+		for i := 0; i < 15; i++ {
+			h := ruleset.RandomHeader(rng)
+			if part.Classify(h) != ref.Classify(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package tcam implements Ternary Content Addressable Memory engines for
+// packet classification: a behavioral model (the semantic specification of
+// a TCAM search), the FPGA implementation built from SRL16E cells with the
+// control block of the paper's Figure 3, and the ASIC TCAM power model the
+// paper quotes in Section IV-C.
+package tcam
+
+import (
+	"fmt"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// Behavioral is the reference TCAM: entries searched in parallel (semantics:
+// all compared, lowest index wins), wildcards per bit. It operates on the
+// ternary-expanded form of a ruleset and reports rule-level results.
+type Behavioral struct {
+	ex *ruleset.Expanded
+}
+
+// NewBehavioral builds a behavioral TCAM over an expanded ruleset.
+func NewBehavioral(ex *ruleset.Expanded) *Behavioral {
+	return &Behavioral{ex: ex}
+}
+
+// Name identifies the engine in reports.
+func (t *Behavioral) Name() string { return "tcam-behavioral" }
+
+// NumRules returns the original rule count N.
+func (t *Behavioral) NumRules() int { return t.ex.NumRules }
+
+// NumEntries returns the stored entry count Ne.
+func (t *Behavioral) NumEntries() int { return t.ex.Len() }
+
+// Classify returns the highest-priority matching rule index, or -1.
+// This is the priority-encoder output of a hardware TCAM.
+func (t *Behavioral) Classify(h packet.Header) int {
+	return t.ex.FirstMatch(h.Key())
+}
+
+// MultiMatch returns all matching rule indices in priority order.
+func (t *Behavioral) MultiMatch(h packet.Header) []int {
+	k := h.Key()
+	var entries []int
+	for i, e := range t.ex.Entries {
+		if e.MatchesKey(k) {
+			entries = append(entries, i)
+		}
+	}
+	return t.ex.ParentRules(entries)
+}
+
+// MatchVector returns the raw per-entry match flags (the TCAM match lines
+// before priority encoding).
+func (t *Behavioral) MatchVector(k packet.Key) []bool {
+	out := make([]bool, t.ex.Len())
+	for i, e := range t.ex.Entries {
+		out[i] = e.MatchesKey(k)
+	}
+	return out
+}
+
+// ASICPowerModel is the paper's Section IV-C closed-form power model for a
+// CMOS ASIC TCAM chip (18 Mbit capacity, 15 W max, 0.8 W static at 70 nm):
+//
+//	P(N) = 0.8 + (15 - 0.8) * (144 * N) / (18 * 2^20)   [watts]
+//
+// where N is the number of active 144-bit classification entries (the
+// standard TCAM slot width holding a 104-bit 5-tuple). Dynamic power scales
+// with the number of enabled entries because entries can be enabled per-row.
+func ASICPowerModel(n int) float64 {
+	const (
+		staticW  = 0.8
+		maxW     = 15.0
+		slotBits = 144
+		capBits  = 18 * 1 << 20
+	)
+	return staticW + (maxW-staticW)*float64(slotBits*n)/float64(capBits)
+}
+
+// MemoryBits returns the storage requirement of a TCAM holding ne entries of
+// w ternary bits: 2 bits per ternary bit (data + mask), the paper's
+// Section V-B accounting.
+func MemoryBits(ne, w int) int { return 2 * w * ne }
+
+// String summarises the engine.
+func (t *Behavioral) String() string {
+	return fmt.Sprintf("%s{rules=%d entries=%d}", t.Name(), t.NumRules(), t.NumEntries())
+}

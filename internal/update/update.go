@@ -1,0 +1,133 @@
+// Package update simulates dynamic rule updates on both engines — the
+// operational dimension behind the paper's reconfigurability remarks
+// (Section IV-C: FPGA engines "can be easily reconfigured either statically
+// or dynamically"; Section IV-B: TCAM entry writes shift 16 cycles through
+// SRL16Es).
+//
+// Update cost model:
+//   - StrideBV: reprogramming one entry writes one bit slice in each of
+//     the ceil(W/k) stage memories. The writes ripple down the pipeline
+//     like a packet, so an update occupies one issue slot and completes
+//     after `stages` cycles (classification continues around it).
+//   - SRL16E TCAM: an entry write shifts for 16 cycles; the written entry
+//     is invalid while shifting, and the single write port serializes
+//     updates.
+//
+// The package generates deterministic update workloads (rule replacement
+// on a prefix-only ruleset, so the one-entry-per-rule invariant holds),
+// applies them to live engines, and differentially verifies the result
+// against an engine rebuilt from scratch.
+package update
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/tcam"
+)
+
+// Op replaces the rule at Index with Rule.
+type Op struct {
+	Index int
+	Rule  ruleset.Rule
+}
+
+// GenerateOps draws a deterministic stream of rule replacements for a
+// prefix-only ruleset (each replacement is itself prefix-only, preserving
+// the 1:1 rule/entry mapping the in-place update path requires).
+func GenerateOps(rs *ruleset.RuleSet, count int, seed int64) ([]Op, error) {
+	if rs.ExpansionFactor() != 1 {
+		return nil, fmt.Errorf("update: ruleset must be prefix-only (expansion factor %.2f)", rs.ExpansionFactor())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	donor := ruleset.Generate(ruleset.GenConfig{N: count, Profile: ruleset.PrefixOnly, Seed: seed + 1})
+	ops := make([]Op, count)
+	for i := range ops {
+		ops[i] = Op{Index: rng.Intn(rs.Len()), Rule: donor.Rules[i]}
+	}
+	return ops, nil
+}
+
+// Cost is the cycle accounting of one engine's update stream.
+type Cost struct {
+	Ops int
+	// LatencyCycles is the completion latency of a single update.
+	LatencyCycles int
+	// OccupancyCycles is the total issue-slot/port time the stream
+	// consumed — the capacity stolen from classification.
+	OccupancyCycles int64
+}
+
+// UpdatesPerSecond converts occupancy into a sustainable update rate at
+// the given clock, assuming updates are the port's only traffic.
+func (c Cost) UpdatesPerSecond(clockMHz float64) float64 {
+	if c.OccupancyCycles == 0 {
+		return 0
+	}
+	return clockMHz * 1e6 * float64(c.Ops) / float64(c.OccupancyCycles)
+}
+
+// ApplyToStrideBV applies the ops in place and returns the cost.
+func ApplyToStrideBV(eng *stridebv.Engine, rs *ruleset.RuleSet, ops []Op) (Cost, error) {
+	for _, op := range ops {
+		if op.Index < 0 || op.Index >= rs.Len() {
+			return Cost{}, fmt.Errorf("update: index %d out of range", op.Index)
+		}
+		entries := op.Rule.TernaryEntries()
+		if len(entries) != 1 {
+			return Cost{}, fmt.Errorf("update: replacement expands to %d entries, want 1", len(entries))
+		}
+		rs.Rules[op.Index] = op.Rule
+		if err := eng.UpdateEntry(op.Index, entries[0]); err != nil {
+			return Cost{}, err
+		}
+	}
+	return Cost{
+		Ops:             len(ops),
+		LatencyCycles:   eng.Stages(),
+		OccupancyCycles: int64(len(ops)), // one issue slot each, pipelined
+	}, nil
+}
+
+// ApplyToTCAM applies the ops to a live SRL16E TCAM and returns the cost.
+func ApplyToTCAM(fp *tcam.FPGA, rs *ruleset.RuleSet, ops []Op) (Cost, error) {
+	var occupancy int64
+	for _, op := range ops {
+		if op.Index < 0 || op.Index >= rs.Len() {
+			return Cost{}, fmt.Errorf("update: index %d out of range", op.Index)
+		}
+		entries := op.Rule.TernaryEntries()
+		if len(entries) != 1 {
+			return Cost{}, fmt.Errorf("update: replacement expands to %d entries, want 1", len(entries))
+		}
+		rs.Rules[op.Index] = op.Rule
+		cycles, err := fp.Write(op.Index, entries[0])
+		if err != nil {
+			return Cost{}, err
+		}
+		occupancy += int64(cycles)
+		// Wait out the 16-cycle shift: the single write port serializes
+		// consecutive updates.
+		fp.Advance(int64(cycles))
+	}
+	return Cost{
+		Ops:             len(ops),
+		LatencyCycles:   tcam.WriteCycles,
+		OccupancyCycles: occupancy,
+	}, nil
+}
+
+// VerifyAfterUpdates checks a live engine against a reference engine
+// rebuilt from the mutated ruleset, over a directed trace.
+func VerifyAfterUpdates(rs *ruleset.RuleSet, classify func(packet.Header) int, seed int64) error {
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 500, MatchFraction: 0.8, Seed: seed})
+	for _, h := range trace {
+		if got, want := classify(h), rs.FirstMatch(h); got != want {
+			return fmt.Errorf("update: divergence after updates on %s: got %d want %d", h, got, want)
+		}
+	}
+	return nil
+}

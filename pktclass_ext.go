@@ -1,0 +1,60 @@
+package pktclass
+
+// Extensions beyond the paper's two engines: the feature-reliant
+// decision-tree contrast, the partitioned-TCAM power optimization, and the
+// multi-lane StrideBV configuration the paper defers as future work.
+
+import (
+	"pktclass/internal/dtree"
+	"pktclass/internal/floorplan"
+	"pktclass/internal/fpga"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/tcam"
+)
+
+// HiCuts is the decision-tree classifier (feature-*reliant*, included as
+// the contrast to the two feature-independent engines).
+type HiCuts = dtree.Tree
+
+// NewHiCuts builds a HiCuts decision tree with default parameters
+// (binth 8, spfac 4).
+func NewHiCuts(rs *RuleSet) (*HiCuts, error) {
+	return dtree.New(rs, dtree.DefaultConfig())
+}
+
+// PartitionedTCAM is the power-optimized TCAM organization: a pre-decoder
+// enables only the relevant block per search.
+type PartitionedTCAM = tcam.Partitioned
+
+// NewPartitionedTCAM builds a partitioned TCAM with the default 4-bit
+// destination-IP pre-decoder.
+func NewPartitionedTCAM(rs *RuleSet) (*PartitionedTCAM, error) {
+	return tcam.NewPartitioned(rs.Expand(), tcam.DefaultPartitionConfig())
+}
+
+// ParallelStrideBV is the multi-lane StrideBV configuration (two lanes per
+// dual-ported stage-memory copy).
+type ParallelStrideBV = stridebv.Parallel
+
+// NewParallelStrideBV builds an L-lane StrideBV array over one ruleset.
+func NewParallelStrideBV(rs *RuleSet, stride, lanes int) (*ParallelStrideBV, error) {
+	eng, err := stridebv.New(rs.Expand(), stride)
+	if err != nil {
+		return nil, err
+	}
+	return stridebv.NewParallel(eng, lanes)
+}
+
+// EvaluateMultiLaneHardware reports the hardware model for a multi-lane
+// StrideBV deployment — the paper's "400G+" scaling path.
+func EvaluateMultiLaneHardware(rs *RuleSet, d Device, stride int, memory string, lanes int, seed int64) (Report, error) {
+	mem := fpga.DistRAM
+	if memory == "bram" {
+		mem = fpga.BlockRAM
+	}
+	m := fpga.MultiConfig{
+		Base:  fpga.StrideBVConfig{Ne: rs.Expand().Len(), K: stride, Memory: mem},
+		Lanes: lanes,
+	}
+	return fpga.EvaluateStrideBVMulti(d, m, floorplan.Floorplanned, seed)
+}

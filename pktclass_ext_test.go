@@ -1,0 +1,91 @@
+package pktclass
+
+import (
+	"testing"
+
+	"pktclass/internal/packet"
+)
+
+func TestHiCutsFacade(t *testing.T) {
+	rs := GenerateRuleSet(96, "firewall", 31)
+	tree, err := NewHiCuts(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 300, 0.8, 32)
+	if msg := Verify(rs, tree, trace); msg != "" {
+		t.Fatal(msg)
+	}
+	if tree.MemoryBytes() <= 0 {
+		t.Fatal("tree has no memory cost")
+	}
+}
+
+func TestPartitionedTCAMFacade(t *testing.T) {
+	rs := GenerateRuleSet(96, "firewall", 33)
+	part, err := NewPartitionedTCAM(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 300, 0.8, 34)
+	if msg := Verify(rs, part, trace); msg != "" {
+		t.Fatal(msg)
+	}
+	if part.PowerSaving() < 1 {
+		t.Fatalf("PowerSaving = %v", part.PowerSaving())
+	}
+}
+
+func TestParallelStrideBVFacade(t *testing.T) {
+	rs := GenerateRuleSet(64, "prefix-only", 35)
+	par, err := NewParallelStrideBV(rs, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Lanes() != 8 || par.MemoryCopies() != 4 {
+		t.Fatalf("lanes=%d copies=%d", par.Lanes(), par.MemoryCopies())
+	}
+	ref := NewLinear(rs)
+	trace := GenerateTrace(rs, 501, 0.9, 36)
+	keys := make([]packet.Key, len(trace))
+	for i, h := range trace {
+		keys[i] = h.Key()
+	}
+	results, cycles := par.Run(keys)
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	for i, h := range trace {
+		if results[i] != ref.Classify(h) {
+			t.Fatalf("lane result %d wrong", i)
+		}
+	}
+}
+
+func TestMultiLaneHardwareFacade(t *testing.T) {
+	rs := GenerateRuleSet(512, "prefix-only", 37)
+	d := Virtex7()
+	r8, err := EvaluateMultiLaneHardware(rs, d, 4, "distram", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := EvaluateMultiLaneHardware(rs, d, 4, "distram", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.ThroughputGbps <= 2*r2.ThroughputGbps {
+		t.Fatalf("8 lanes (%.1f) not scaling over 2 lanes (%.1f)",
+			r8.ThroughputGbps, r2.ThroughputGbps)
+	}
+	if r8.MemoryKbit != 4*r2.MemoryKbit {
+		t.Fatalf("memory copies wrong: %.0f vs %.0f", r8.MemoryKbit, r2.MemoryKbit)
+	}
+	// BRAM variant exercises the block-memory path.
+	rb, err := EvaluateMultiLaneHardware(rs, d, 4, "bram", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Resources.BRAMs == 0 {
+		t.Fatal("bram multi-lane build has no BRAMs")
+	}
+}

@@ -1,0 +1,133 @@
+package pktclass
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	rs := GenerateRuleSet(64, "firewall", 1)
+	if rs.Len() != 64 {
+		t.Fatalf("N = %d", rs.Len())
+	}
+	eng, err := NewStrideBV(rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rs, 200, 0.8, 2)
+	if msg := Verify(rs, eng, trace); msg != "" {
+		t.Fatal(msg)
+	}
+	for _, h := range trace {
+		rule := eng.Classify(h)
+		a := ActionOf(rs, rule)
+		if rule >= 0 && a != rs.Rules[rule].Action {
+			t.Fatal("action resolution wrong")
+		}
+	}
+}
+
+func TestParseRuleSetString(t *testing.T) {
+	rs, err := ParseRuleSetString("@1.2.3.4/32 0.0.0.0/0 0 : 65535 80 : 80 tcp DROP\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("N = %d", rs.Len())
+	}
+	h := Header{SIP: 0x01020304, DP: 80, Proto: 6}
+	if NewLinear(rs).Classify(h) != 0 {
+		t.Fatal("parsed rule does not match")
+	}
+	if _, err := ParseRuleSet(strings.NewReader("garbage")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestAllEngineConstructorsAgree(t *testing.T) {
+	rs := GenerateRuleSet(48, "feature-free", 3)
+	trace := GenerateTrace(rs, 200, 0.7, 4)
+	engines := []Engine{NewTCAM(rs), NewLinear(rs)}
+	s3, err := NewStrideBV(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsbv, err := NewFSBV(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewRangeStrideBV(rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, s3, fsbv, re)
+	for _, eng := range engines {
+		if msg := Verify(rs, eng, trace); msg != "" {
+			t.Fatalf("%s: %s", eng.Name(), msg)
+		}
+	}
+}
+
+func TestTCAMFPGAFacade(t *testing.T) {
+	rs := GenerateRuleSet(16, "prefix-only", 5)
+	fp := NewTCAMFPGA(rs)
+	trace := GenerateTrace(rs, 50, 0.9, 6)
+	ref := NewLinear(rs)
+	for _, h := range trace {
+		if fp.Classify(h) != ref.Classify(h) {
+			t.Fatal("TCAM FPGA diverges")
+		}
+	}
+}
+
+func TestHardwareEvaluationFacade(t *testing.T) {
+	rs := GenerateRuleSet(128, "prefix-only", 7)
+	d := Virtex7()
+	rd, err := EvaluateStrideBVHardware(rs, d, 4, "distram", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := EvaluateStrideBVHardware(rs, d, 4, "bram", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.ThroughputGbps <= 0 || rb.ThroughputGbps <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if rb.Resources.BRAMs == 0 || rd.Resources.BRAMs != 0 {
+		t.Fatal("memory kind not honored")
+	}
+	rt, err := EvaluateTCAMHardware(rs, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.ThroughputGbps >= rd.ThroughputGbps {
+		t.Fatal("TCAM should be slower than StrideBV")
+	}
+}
+
+func TestCompareFacade(t *testing.T) {
+	rs := GenerateRuleSet(64, "prefix-only", 9)
+	cmp, err := Compare(rs, Virtex7(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Candidates) != 5 {
+		t.Fatalf("%d candidates", len(cmp.Candidates))
+	}
+	best := cmp.Best()
+	if !best.IsStride {
+		t.Fatalf("best = %s", best.Name)
+	}
+}
+
+func TestSampleRuleSetFacade(t *testing.T) {
+	rs := SampleRuleSet()
+	if rs.Len() != 6 {
+		t.Fatalf("sample N = %d", rs.Len())
+	}
+	h := Header{SIP: 0x0A0A0101, DIP: 0x21010203, SP: 9, DP: 8080, Proto: 17}
+	if NewLinear(rs).Classify(h) != 3 {
+		t.Fatal("sample semantics wrong")
+	}
+}
