@@ -5,10 +5,17 @@
 //
 //	pclass -rules rules.txt -trace trace.txt -engine stridebv -stride 4
 //	pclass -rules rules.txt -trace trace.bin -engine tcam -v
+//	pclass serve -rules rules.txt -clients 8 -update-every 5ms
+//	pclass serve -rules rules.txt -measure
 //
 // Engines: stridebv | fsbv | rangebv | tcam | tcam-fpga | hicuts | linear.
 // Traces may be text or binary (format is sniffed). Every run is
 // differentially verified against the linear reference unless -noverify.
+//
+// The serve subcommand runs the concurrent classification service: a
+// load generator drives worker goroutines while an optional updater lands
+// atomic ruleset hot-swaps (-update-every); -measure instead replays the
+// trace once under continuous churn and reports throughput degradation.
 package main
 
 import (
@@ -29,6 +36,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pclass: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		rulesPath = flag.String("rules", "", "ruleset file (required)")
 		tracePath = flag.String("trace", "", "trace file, text or binary (required)")

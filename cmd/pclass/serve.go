@@ -1,0 +1,173 @@
+// The serve subcommand: run the concurrent classification service against
+// a load generator, optionally churning ruleset hot-swaps underneath it,
+// or (-measure) run the lookup-under-update replay experiment.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/cli"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/serve"
+	"pktclass/internal/sim"
+	"pktclass/internal/update"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("pclass serve", flag.ExitOnError)
+	var (
+		rulesPath   = fs.String("rules", "", "ruleset file (required; prefix-only when hot-swaps are enabled)")
+		engine      = fs.String("engine", "stridebv", "engine: "+strings.Join(cli.EngineNames(), " | "))
+		stride      = fs.Int("stride", 4, "stride length for stridebv/rangebv")
+		workers     = fs.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "submission queue depth in batches (0 = 4 per worker)")
+		batch       = fs.Int("batch", 64, "packets per submitted batch")
+		tracePath   = fs.String("trace", "", "trace file; a directed trace is generated when empty")
+		packets     = fs.Int("packets", 50000, "generated trace length when -trace is empty")
+		duration    = fs.Duration("duration", 2*time.Second, "load-generator run time")
+		clients     = fs.Int("clients", 4, "load-generator goroutines")
+		updateEvery = fs.Duration("update-every", 0, "interval between ruleset hot-swaps (0 disables churn)")
+		opsPerSwap  = fs.Int("ops-per-swap", 8, "rule replacements per hot-swap")
+		measure     = fs.Bool("measure", false, "replay the trace once under continuous churn and report throughput degradation")
+		swaps       = fs.Int("swaps", 0, "bound on hot-swaps in -measure mode (0 = churn for the whole replay)")
+		seed        = fs.Int64("seed", 1, "deterministic seed for traces and update streams")
+	)
+	fs.Parse(args)
+	if *rulesPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	rs, err := cli.LoadRuleSet(*rulesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdrs, err := loadOrGenerateTrace(*tracePath, rs, *packets, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := cli.EngineBuilder(*engine, *stride)
+
+	if *measure {
+		res, err := sim.ServeTrace(rs, build, hdrs, sim.ServeConfig{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			BatchSize:  *batch,
+			Swaps:      *swaps,
+			OpsPerSwap: *opsPerSwap,
+			Churn:      true,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("packets          %d\n", res.Packets)
+		fmt.Printf("elapsed          %s\n", res.Elapsed)
+		fmt.Printf("throughput       %.0f pkt/s under churn\n", res.PacketsPerSec)
+		fmt.Printf("baseline         %.0f pkt/s churn-free\n", res.BaselinePacketsPerSec)
+		fmt.Printf("degradation      %.1f%%\n", res.DegradationPct)
+		fmt.Printf("backpressure     %d resubmits\n", res.Resubmits)
+		fmt.Print(res.Counters.Table())
+		return
+	}
+
+	svc, err := serve.New(rs, build, serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var total, retries atomic.Int64
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			lo := (off * *batch) % len(hdrs)
+			for ctx.Err() == nil {
+				hi := lo + *batch
+				if hi > len(hdrs) {
+					hi = len(hdrs)
+				}
+				res, err := svc.Classify(ctx, hdrs[lo:hi])
+				if err == serve.ErrQueueFull {
+					retries.Add(1)
+					runtime.Gosched()
+					continue
+				}
+				if err != nil {
+					return
+				}
+				total.Add(int64(len(res)))
+				lo = hi % len(hdrs)
+			}
+		}(c)
+	}
+	if *updateEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(*updateEvery)
+			defer tick.Stop()
+			s := *seed + 1
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					ops, err := update.GenerateOps(svc.RuleSet(), *opsPerSwap, s)
+					if err != nil {
+						log.Print(err)
+						return
+					}
+					s++
+					if err := svc.ApplyOps(ops); err != nil {
+						log.Print(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer closeCancel()
+	if err := svc.Close(closeCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+
+	fmt.Printf("engine           %s\n", svc.Engine().Name())
+	fmt.Printf("clients          %d over %s\n", *clients, *duration)
+	fmt.Printf("throughput       %.0f pkt/s\n", float64(total.Load())/duration.Seconds())
+	fmt.Printf("client retries   %d\n", retries.Load())
+	fmt.Print(svc.Counters().Table())
+}
+
+// loadOrGenerateTrace reads the trace file when given, or generates a
+// directed trace from the ruleset.
+func loadOrGenerateTrace(path string, rs *ruleset.RuleSet, packets int, seed int64) ([]packet.Header, error) {
+	if path != "" {
+		return cli.LoadTrace(path)
+	}
+	if packets <= 0 {
+		return nil, fmt.Errorf("pclass serve: -packets must be positive when no -trace is given")
+	}
+	return ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Count: packets, MatchFraction: 0.8, Locality: 0.3, Seed: seed,
+	}), nil
+}

@@ -173,10 +173,10 @@ func (s *SSA) Metrics() Metrics {
 // figure; the multi-cycle trie walk bounds throughput.
 func BVTCAM(n int) Metrics {
 	const (
-		bytesPerRule  = 5.0 // shared tree-bitmap nodes + small TCAM slice
-		clockMHz      = 125
-		cyclesPerPkt  = 4 // trie strides per lookup
-		watts         = 1.0
+		bytesPerRule = 5.0 // shared tree-bitmap nodes + small TCAM slice
+		clockMHz     = 125
+		cyclesPerPkt = 4 // trie strides per lookup
+		watts        = 1.0
 	)
 	tput := clockMHz * 1e6 * packet.MinPacketBits / 1e9 / cyclesPerPkt
 	return Metrics{

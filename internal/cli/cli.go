@@ -65,6 +65,15 @@ func EngineNames() []string {
 	return []string{"stridebv", "fsbv", "rangebv", "tcam", "tcam-fpga", "hicuts", "linear"}
 }
 
+// EngineBuilder curries BuildEngine over a fixed engine name and stride,
+// yielding the rebuild-from-ruleset shape the serving layer's hot-swap
+// path wants (serve.BuildFunc).
+func EngineBuilder(name string, stride int) func(*ruleset.RuleSet) (core.Engine, error) {
+	return func(rs *ruleset.RuleSet) (core.Engine, error) {
+		return BuildEngine(rs, name, stride)
+	}
+}
+
 // BuildEngine constructs the named engine over the ruleset. stride applies
 // to the stride-parameterized engines.
 func BuildEngine(rs *ruleset.RuleSet, name string, stride int) (core.Engine, error) {

@@ -89,3 +89,29 @@ func TestBuildEngineAllNames(t *testing.T) {
 		t.Fatal("bad stride accepted")
 	}
 }
+
+func TestEngineBuilderCurriesBuildEngine(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 16, Profile: ruleset.PrefixOnly, Seed: 40, DefaultRule: true})
+	for _, name := range EngineNames() {
+		build := EngineBuilder(name, 4)
+		eng, err := build(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if eng.NumRules() != rs.Len() {
+			t.Fatalf("%s: NumRules = %d, want %d", name, eng.NumRules(), rs.Len())
+		}
+		// The builder is reusable: a second ruleset builds a second engine.
+		rs2 := ruleset.Generate(ruleset.GenConfig{N: 8, Profile: ruleset.PrefixOnly, Seed: 41, DefaultRule: true})
+		eng2, err := build(rs2)
+		if err != nil {
+			t.Fatalf("%s rebuild: %v", name, err)
+		}
+		if eng2.NumRules() != rs2.Len() {
+			t.Fatalf("%s rebuild: NumRules = %d, want %d", name, eng2.NumRules(), rs2.Len())
+		}
+	}
+	if _, err := EngineBuilder("no-such-engine", 4)(rs); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}

@@ -97,6 +97,29 @@ func (o *offByOne) Classify(h packet.Header) int {
 func (o *offByOne) MultiMatch(h packet.Header) []int { return o.inner.MultiMatch(h) }
 func (o *offByOne) NumRules() int                    { return o.inner.NumRules() }
 
+func TestVerifyClassify(t *testing.T) {
+	rs, trace := testSet(t, 32, 6)
+	ref := NewLinear(rs)
+	if m := VerifyClassify(ref, NewLinear(rs), trace); m != nil {
+		t.Fatalf("equivalent engines diverged: %s", m)
+	}
+	m := VerifyClassify(ref, &offByOne{inner: NewLinear(rs)}, trace)
+	if m == nil {
+		t.Fatal("classify divergence not detected")
+	}
+	if m.Kind != "classify" || m.Got != m.Want+1 {
+		t.Fatalf("mismatch = %+v", m)
+	}
+	// A multimatch-only bug is invisible to the classify-only verifier —
+	// that asymmetry is the point of the cheaper check.
+	if m := VerifyClassify(ref, &dropLastMatch{inner: NewLinear(rs)}, trace); m != nil {
+		t.Fatalf("classify-only verifier flagged a multimatch bug: %s", m)
+	}
+	if m := VerifyClassify(ref, &offByOne{inner: NewLinear(rs)}, nil); m != nil {
+		t.Fatal("empty trace produced a mismatch")
+	}
+}
+
 func TestVerifyDetectsMultiMatchDivergence(t *testing.T) {
 	rs, trace := testSet(t, 16, 4)
 	ref := NewLinear(rs)
@@ -112,9 +135,9 @@ func TestVerifyDetectsMultiMatchDivergence(t *testing.T) {
 
 type dropLastMatch struct{ inner Engine }
 
-func (o *dropLastMatch) Name() string                  { return "drop-last" }
-func (o *dropLastMatch) Classify(h packet.Header) int  { return o.inner.Classify(h) }
-func (o *dropLastMatch) NumRules() int                 { return o.inner.NumRules() }
+func (o *dropLastMatch) Name() string                 { return "drop-last" }
+func (o *dropLastMatch) Classify(h packet.Header) int { return o.inner.Classify(h) }
+func (o *dropLastMatch) NumRules() int                { return o.inner.NumRules() }
 func (o *dropLastMatch) MultiMatch(h packet.Header) []int {
 	m := o.inner.MultiMatch(h)
 	if len(m) > 0 {

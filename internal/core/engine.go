@@ -70,6 +70,20 @@ func (m Mismatch) String() string {
 	return fmt.Sprintf("%s: %s on %s: got %d want %d", m.Engine, m.Kind, m.Header, m.Got, m.Want)
 }
 
+// VerifyClassify differentially tests only the Classify path against the
+// reference, stopping at the first divergence. It is the cheap check the
+// serving layer runs on every candidate engine before an atomic hot-swap,
+// where full MultiMatch agreement (Verify) would dominate swap latency.
+func VerifyClassify(ref Engine, eng Engine, trace []packet.Header) *Mismatch {
+	for _, h := range trace {
+		want := ref.Classify(h)
+		if got := eng.Classify(h); got != want {
+			return &Mismatch{Header: h, Want: want, Got: got, Engine: eng.Name(), Kind: "classify"}
+		}
+	}
+	return nil
+}
+
 // Verify differentially tests an engine against the reference on a trace.
 // It returns all mismatches found (nil means the engine is equivalent on
 // this trace). MultiMatch agreement is checked element-wise.

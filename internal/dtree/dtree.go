@@ -118,10 +118,10 @@ type Tree struct {
 	cfg  Config
 	root *node
 	// statistics
-	nodes      int
-	leaves     int
-	maxDepth   int
-	ruleRefs   int // total rule references across leaves (the replication)
+	nodes    int
+	leaves   int
+	maxDepth int
+	ruleRefs int // total rule references across leaves (the replication)
 }
 
 // New builds a HiCuts tree over the ruleset.

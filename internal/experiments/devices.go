@@ -14,7 +14,7 @@ import (
 // builds are slice-bound, BRAM builds block-bound, TCAM slice-bound.
 func ExtDevices(c Config) (*metrics.Table, error) {
 	t := &metrics.Table{
-		Title: "Extension: maximum ruleset size per device (largest power-of-two N that fits)",
+		Title:   "Extension: maximum ruleset size per device (largest power-of-two N that fits)",
 		Headers: []string{"Device", "distRAM k=3", "distRAM k=4", "BRAM k=3", "BRAM k=4", "TCAM"},
 	}
 	const maxN = 1 << 16

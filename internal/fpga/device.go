@@ -15,9 +15,9 @@ type Device struct {
 	Name string
 	// Slices is the logic slice count. Each Virtex-7 slice holds 4 LUT6s
 	// and 8 flip-flops.
-	Slices        int
-	LUTsPerSlice  int
-	FFsPerSlice   int
+	Slices       int
+	LUTsPerSlice int
+	FFsPerSlice  int
 	// DistRAMBits is the total distributed (LUT) RAM capacity.
 	DistRAMBits int
 	// BRAMBlocks is the number of 36 Kb block RAMs; BRAMKb their size.
@@ -37,15 +37,15 @@ type Device struct {
 // Virtex7 is the paper's evaluation device (XC7VX-class, -2 speed grade).
 func Virtex7() Device {
 	return Device{
-		Name:          "Virtex-7 XC7VX (-2)",
-		Slices:        78000,
-		LUTsPerSlice:  4,
-		FFsPerSlice:   8,
-		DistRAMBits: 8 << 20, // 8 Mbit
+		Name:         "Virtex-7 XC7VX (-2)",
+		Slices:       78000,
+		LUTsPerSlice: 4,
+		FFsPerSlice:  8,
+		DistRAMBits:  8 << 20, // 8 Mbit
 		// 2000 36Kb blocks (~70 Mbit; the paper's garbled "68 Mbit"
 		// rounded so that the paper's stated worst case — StrideBV k=3 at
 		// N=2048 — consumes the block RAM "fully" at 99.75%).
-		BRAMBlocks: 2000,
+		BRAMBlocks:    2000,
 		BRAMKb:        36,
 		BRAMPortWidth: 36,
 		IOBs:          700,

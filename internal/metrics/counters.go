@@ -1,0 +1,135 @@
+// Counter primitives for live subsystems (the serving layer, load
+// generators): lock-free named counters and gauges that concurrent hot
+// paths bump without coordination, snapshotted into the package's Table
+// model for reporting.
+
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value with high-water tracking.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores the value and raises the high-water mark when exceeded.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-water mark across all Set calls.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// LatencyCounter accumulates durations: total, count, and maximum.
+type LatencyCounter struct {
+	total atomic.Int64 // nanoseconds
+	count atomic.Int64
+	max   atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration sample.
+func (l *LatencyCounter) Observe(d time.Duration) {
+	n := int64(d)
+	l.total.Add(n)
+	l.count.Add(1)
+	for {
+		m := l.max.Load()
+		if n <= m || l.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (l *LatencyCounter) Count() int64 { return l.count.Load() }
+
+// Total returns the summed duration.
+func (l *LatencyCounter) Total() time.Duration { return time.Duration(l.total.Load()) }
+
+// Max returns the largest sample.
+func (l *LatencyCounter) Max() time.Duration { return time.Duration(l.max.Load()) }
+
+// Mean returns the average sample, or zero with no samples.
+func (l *LatencyCounter) Mean() time.Duration {
+	c := l.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(l.total.Load() / c)
+}
+
+// Registry is a named set of counters, safe for concurrent registration
+// and lookup. The zero value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current name→value map.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Table renders the registry as a sorted fixed-width counter table.
+func (r *Registry) Table(title string) *Table {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := &Table{Title: title, Headers: []string{"counter", "value"}}
+	for _, name := range names {
+		t.AddRow(name, strconv.FormatInt(snap[name], 10))
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*10 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Set(9)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatalf("value = %d, want 2", g.Value())
+	}
+	if g.Max() != 9 {
+		t.Fatalf("max = %d, want 9", g.Max())
+	}
+	// Concurrent raises race only upward.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			g.Set(v)
+		}(int64(10 + w))
+	}
+	wg.Wait()
+	if g.Max() != 17 {
+		t.Fatalf("max = %d, want 17", g.Max())
+	}
+}
+
+func TestLatencyCounter(t *testing.T) {
+	var l LatencyCounter
+	if l.Mean() != 0 || l.Max() != 0 || l.Count() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if l.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %s", l.Mean())
+	}
+	if l.Max() != 30*time.Millisecond {
+		t.Fatalf("max = %s", l.Max())
+	}
+	if l.Total() != 40*time.Millisecond {
+		t.Fatalf("total = %s", l.Total())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	r.Counter("packets").Add(5)
+	r.Counter("packets").Add(2) // same counter, not a new one
+	r.Counter("drops").Inc()
+	snap := r.Snapshot()
+	if snap["packets"] != 7 || snap["drops"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	out := r.Table("live").String()
+	if !strings.Contains(out, "live") || !strings.Contains(out, "packets") || !strings.Contains(out, "7") {
+		t.Fatalf("table rendering:\n%s", out)
+	}
+	// drops sorts before packets.
+	if strings.Index(out, "drops") > strings.Index(out, "packets") {
+		t.Fatalf("rows not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 4000 {
+		t.Fatalf("shared = %d", got)
+	}
+}

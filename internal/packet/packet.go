@@ -30,10 +30,10 @@ const (
 	ProtoBits = 8
 
 	SIPOff   = 0
-	DIPOff   = SIPOff + SIPBits   // 32
-	SPOff    = DIPOff + DIPBits   // 64
-	DPOff    = SPOff + SPBits     // 80
-	ProtoOff = DPOff + DPBits     // 96
+	DIPOff   = SIPOff + SIPBits     // 32
+	SPOff    = DIPOff + DIPBits     // 64
+	DPOff    = SPOff + SPBits       // 80
+	ProtoOff = DPOff + DPBits       // 96
 	W        = ProtoOff + ProtoBits // 104: total tuple width in bits
 )
 

@@ -27,13 +27,13 @@ func TestParseHeaderRoundTrip(t *testing.T) {
 func TestParseHeaderErrors(t *testing.T) {
 	bads := []string{
 		"",
-		"1.2.3.4 5.6.7.8 1 2",          // too few
-		"1.2.3.4 5.6.7.8 1 2 3 4",      // too many
-		"1.2.3 5.6.7.8 1 2 3",          // bad IP
-		"1.2.3.256 5.6.7.8 1 2 3",      // octet overflow
-		"1.2.3.4 5.6.7.8 99999 2 3",    // port overflow
-		"1.2.3.4 5.6.7.8 1 2 300",      // proto overflow
-		"1.2.3.4 5.6.7.8 x 2 3",        // non-numeric
+		"1.2.3.4 5.6.7.8 1 2",       // too few
+		"1.2.3.4 5.6.7.8 1 2 3 4",   // too many
+		"1.2.3 5.6.7.8 1 2 3",       // bad IP
+		"1.2.3.256 5.6.7.8 1 2 3",   // octet overflow
+		"1.2.3.4 5.6.7.8 99999 2 3", // port overflow
+		"1.2.3.4 5.6.7.8 1 2 300",   // proto overflow
+		"1.2.3.4 5.6.7.8 x 2 3",     // non-numeric
 	}
 	for _, b := range bads {
 		if _, err := ParseHeader(b); err == nil {

@@ -75,13 +75,13 @@ func TestParseProtocolForms(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bads := []string{
-		"1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp",             // missing @
-		"@1.2.3.4/32 5.6.7.8/32 0 : 1 tcp",                  // too few tokens
-		"@1.2.3.4/32 5.6.7.8/32 0 ; 1 0 : 1 tcp",            // bad separator
-		"@1.2.3.4/32 5.6.7.8/32 9 : 1 0 : 1 tcp",            // inverted range
-		"@1.2.3.4/32 5.6.7.8/32 0 : 99999 0 : 1 tcp",        // port overflow
-		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp FLY",        // bad action
-		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp PORT zz",    // bad port
+		"1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp",          // missing @
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 tcp",               // too few tokens
+		"@1.2.3.4/32 5.6.7.8/32 0 ; 1 0 : 1 tcp",         // bad separator
+		"@1.2.3.4/32 5.6.7.8/32 9 : 1 0 : 1 tcp",         // inverted range
+		"@1.2.3.4/32 5.6.7.8/32 0 : 99999 0 : 1 tcp",     // port overflow
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp FLY",     // bad action
+		"@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 tcp PORT zz", // bad port
 	}
 	for _, b := range bads {
 		if _, err := ParseRule(b); err == nil {

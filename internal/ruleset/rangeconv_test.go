@@ -28,11 +28,11 @@ func TestPrefixesKnownCases(t *testing.T) {
 		lo, hi uint16
 		count  int
 	}{
-		{0, 65535, 1},     // wildcard -> single /0
-		{80, 80, 1},       // exact -> /16
-		{0, 1023, 1},      // aligned power of two -> /6
-		{1024, 65535, 6},  // classic ephemeral range
-		{1, 65534, 30},    // the 2(w-1) worst case for w=16
+		{0, 65535, 1},    // wildcard -> single /0
+		{80, 80, 1},      // exact -> /16
+		{0, 1023, 1},     // aligned power of two -> /6
+		{1024, 65535, 6}, // classic ephemeral range
+		{1, 65534, 30},   // the 2(w-1) worst case for w=16
 		{1, 1, 1},
 		{0, 1, 1},
 		{1, 2, 2},

@@ -17,6 +17,13 @@ func New(rules []Rule) *RuleSet { return &RuleSet{Rules: rules} }
 // Len returns the number of rules N.
 func (rs *RuleSet) Len() int { return len(rs.Rules) }
 
+// Clone returns a ruleset with its own copy of the rule slice, so updates
+// to the clone never alias the original. Rule values are plain data, so a
+// shallow per-rule copy is a full copy.
+func (rs *RuleSet) Clone() *RuleSet {
+	return &RuleSet{Rules: append([]Rule(nil), rs.Rules...)}
+}
+
 // Validate checks every rule and the set as a whole.
 func (rs *RuleSet) Validate() error {
 	if len(rs.Rules) == 0 {

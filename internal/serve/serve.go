@@ -1,0 +1,355 @@
+// Package serve is the concurrent classification service: the software
+// analogue of the paper's wire-speed engine serving traffic while the
+// ruleset is reconfigured underneath it (Section IV-C's dynamic
+// reconfigurability, made operational).
+//
+// The design separates the two concerns the hardware gets for free:
+//
+//   - Readers never block. The live engine sits behind an
+//     atomic.Pointer[core.Engine]; each worker loads the pointer once per
+//     batch, so a batch is always classified by exactly one internally
+//     consistent engine version (the software equivalent of an atomic
+//     table swap between packets).
+//   - Updates are shadow-built. An updater applies update.Ops to a clone
+//     of the ruleset, constructs a fresh engine from the clone,
+//     differentially verifies it against core.NewLinear on a directed
+//     trace, and only then swaps the pointer. A failed build or failed
+//     verification leaves the old engine serving — rollback is the
+//     default, not a recovery action.
+//
+// Submission is a bounded sharded queue with explicit backpressure:
+// Submit fails fast with ErrQueueFull instead of queueing unbounded
+// latency, so callers observe drops the way a line card observes them.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/core"
+	"pktclass/internal/metrics"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/update"
+)
+
+// BuildFunc constructs a classification engine over a ruleset. The service
+// calls it once at startup and once per hot-swap (on the shadow clone).
+type BuildFunc func(*ruleset.RuleSet) (core.Engine, error)
+
+var (
+	// ErrQueueFull reports backpressure: the submission queue is at
+	// capacity and the batch was rejected, not queued.
+	ErrQueueFull = errors.New("serve: submission queue full")
+	// ErrClosed reports a submission after Close began.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the number of classification goroutines (0 selects
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the total number of queued batches across all
+	// worker shards (0 selects 4 batches per worker).
+	QueueDepth int
+	// VerifyPackets is the directed-trace length used to differentially
+	// verify every candidate engine against core.NewLinear before it is
+	// swapped in (0 selects 256; negative disables swap verification).
+	VerifyPackets int
+	// Seed makes swap-verification traces deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.VerifyPackets == 0 {
+		c.VerifyPackets = 256
+	}
+	return c
+}
+
+// Pending is an in-flight submitted batch.
+type Pending struct {
+	hdrs    []packet.Header
+	results []int
+	done    chan struct{}
+}
+
+// Wait blocks until the batch is classified or the context ends. The
+// returned slice has one rule index (or -1) per submitted header.
+func (p *Pending) Wait(ctx context.Context) ([]int, error) {
+	select {
+	case <-p.done:
+		return p.results, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Counters is a point-in-time snapshot of the service's traffic and swap
+// statistics.
+type Counters struct {
+	Classified      int64 // packets classified
+	Batches         int64 // batches completed
+	Rejected        int64 // batches refused with ErrQueueFull
+	QueueHighWater  int64 // max batches queued at once
+	Swaps           int64 // engine hot-swaps committed
+	FailedSwaps     int64 // swaps rolled back (build or verify failure)
+	SwapLatencyMean time.Duration
+	SwapLatencyMax  time.Duration
+}
+
+// Table renders the snapshot through the metrics table model.
+func (c Counters) Table() *metrics.Table {
+	t := &metrics.Table{Title: "serve counters", Headers: []string{"counter", "value"}}
+	t.AddRow("packets classified", fmt.Sprint(c.Classified))
+	t.AddRow("batches", fmt.Sprint(c.Batches))
+	t.AddRow("batches rejected", fmt.Sprint(c.Rejected))
+	t.AddRow("queue high-water", fmt.Sprint(c.QueueHighWater))
+	t.AddRow("swaps", fmt.Sprint(c.Swaps))
+	t.AddRow("failed swaps", fmt.Sprint(c.FailedSwaps))
+	t.AddRow("swap latency mean", c.SwapLatencyMean.String())
+	t.AddRow("swap latency max", c.SwapLatencyMax.String())
+	return t
+}
+
+// Service classifies submitted batches on worker goroutines against a
+// hot-swappable engine. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	build BuildFunc
+
+	// engine is the live classifier. Workers Load it once per batch;
+	// updaters Store a fully built and verified replacement.
+	engine atomic.Pointer[core.Engine]
+
+	// mu serializes updaters and guards rs, the ruleset the live engine
+	// was built from. Classification never takes it.
+	mu       sync.Mutex
+	rs       *ruleset.RuleSet
+	swapSeed int64
+
+	// lifecycle guards the queues against submit-after-close: submitters
+	// hold it shared, Close holds it exclusively while closing the shards.
+	lifecycle sync.RWMutex
+	closed    bool
+	shards    []chan *Pending
+	next      atomic.Uint64 // round-robin shard cursor
+	queued    atomic.Int64
+	wg        sync.WaitGroup
+
+	classified  metrics.Counter
+	batches     metrics.Counter
+	rejected    metrics.Counter
+	depth       metrics.Gauge
+	swaps       metrics.Counter
+	failedSwaps metrics.Counter
+	swapLatency metrics.LatencyCounter
+}
+
+// New builds the initial engine from the ruleset and starts the worker
+// pool. The caller owns rs until New returns and must not mutate it after.
+func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
+	if rs == nil || rs.Len() == 0 {
+		return nil, fmt.Errorf("serve: empty ruleset")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("serve: nil build func")
+	}
+	cfg = cfg.withDefaults()
+	eng, err := build(rs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial build: %w", err)
+	}
+	s := &Service{
+		cfg:      cfg,
+		build:    build,
+		rs:       rs,
+		swapSeed: cfg.Seed,
+		shards:   make([]chan *Pending, cfg.Workers),
+	}
+	s.engine.Store(&eng)
+	perShard := (cfg.QueueDepth + cfg.Workers - 1) / cfg.Workers
+	for i := range s.shards {
+		s.shards[i] = make(chan *Pending, perShard)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s, nil
+}
+
+func (s *Service) worker(shard chan *Pending) {
+	defer s.wg.Done()
+	// range drains everything still queued after Close closes the shard:
+	// graceful shutdown completes in-flight batches rather than dropping
+	// them.
+	for p := range shard {
+		s.depth.Set(s.queued.Add(-1))
+		eng := *s.engine.Load()
+		for i, h := range p.hdrs {
+			p.results[i] = eng.Classify(h)
+		}
+		s.classified.Add(int64(len(p.hdrs)))
+		s.batches.Inc()
+		close(p.done)
+	}
+}
+
+// Submit enqueues a batch for classification without blocking. It fails
+// with ErrQueueFull when every shard is at capacity (backpressure) and
+// ErrClosed after Close.
+func (s *Service) Submit(hdrs []packet.Header) (*Pending, error) {
+	p := &Pending{
+		hdrs:    hdrs,
+		results: make([]int, len(hdrs)),
+		done:    make(chan struct{}),
+	}
+	if len(hdrs) == 0 {
+		close(p.done)
+		return p, nil
+	}
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	if s.closed {
+		s.rejected.Inc()
+		return nil, ErrClosed
+	}
+	// Round-robin across shards, falling through to any shard with room
+	// before declaring backpressure.
+	start := int(s.next.Add(1) % uint64(len(s.shards)))
+	for i := 0; i < len(s.shards); i++ {
+		shard := s.shards[(start+i)%len(s.shards)]
+		select {
+		case shard <- p:
+			s.depth.Set(s.queued.Add(1))
+			return p, nil
+		default:
+		}
+	}
+	s.rejected.Inc()
+	return nil, ErrQueueFull
+}
+
+// Classify submits a batch and waits for its results.
+func (s *Service) Classify(ctx context.Context, hdrs []packet.Header) ([]int, error) {
+	p, err := s.Submit(hdrs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// Engine returns the engine currently serving traffic.
+func (s *Service) Engine() core.Engine { return *s.engine.Load() }
+
+// RuleSet returns the ruleset the live engine was built from. The returned
+// set is replaced, never mutated, by updates — callers may read it freely.
+func (s *Service) RuleSet() *ruleset.RuleSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rs
+}
+
+// ApplyOps applies rule replacements through the shadow-swap path: clone
+// the ruleset, apply the ops to the clone, build a fresh engine, verify it
+// differentially against the linear reference, and atomically swap it in.
+// On any failure the previous engine keeps serving and the error reports
+// why the swap was rolled back.
+func (s *Service) ApplyOps(ops []update.Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := update.ApplyToRuleSet(s.rs, ops)
+	if err != nil {
+		s.failedSwaps.Inc()
+		return err
+	}
+	return s.swapLocked(next)
+}
+
+// Reload replaces the entire ruleset through the same build-verify-swap
+// path as ApplyOps.
+func (s *Service) Reload(rs *ruleset.RuleSet) error {
+	if rs == nil || rs.Len() == 0 {
+		s.failedSwaps.Inc()
+		return fmt.Errorf("serve: reload with empty ruleset")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swapLocked(rs.Clone())
+}
+
+// swapLocked builds, verifies and installs an engine for next. Callers
+// hold s.mu.
+func (s *Service) swapLocked(next *ruleset.RuleSet) error {
+	start := time.Now()
+	shadow, err := s.build(next)
+	if err != nil {
+		s.failedSwaps.Inc()
+		return fmt.Errorf("serve: shadow build failed, swap rolled back: %w", err)
+	}
+	if s.cfg.VerifyPackets > 0 {
+		s.swapSeed++
+		trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{
+			Count: s.cfg.VerifyPackets, MatchFraction: 0.8, Seed: s.swapSeed,
+		})
+		if m := core.VerifyClassify(core.NewLinear(next), shadow, trace); m != nil {
+			s.failedSwaps.Inc()
+			return fmt.Errorf("serve: shadow verify failed, swap rolled back: %s", m)
+		}
+	}
+	s.rs = next
+	s.engine.Store(&shadow)
+	s.swaps.Inc()
+	s.swapLatency.Observe(time.Since(start))
+	return nil
+}
+
+// Counters snapshots the service statistics.
+func (s *Service) Counters() Counters {
+	return Counters{
+		Classified:      s.classified.Value(),
+		Batches:         s.batches.Value(),
+		Rejected:        s.rejected.Value(),
+		QueueHighWater:  s.depth.Max(),
+		Swaps:           s.swaps.Value(),
+		FailedSwaps:     s.failedSwaps.Value(),
+		SwapLatencyMean: s.swapLatency.Mean(),
+		SwapLatencyMax:  s.swapLatency.Max(),
+	}
+}
+
+// Close stops accepting submissions, waits for queued and in-flight
+// batches to drain, and returns early with the context's error if the
+// drain outlives it. Close is idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	s.lifecycle.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, shard := range s.shards {
+			close(shard)
+		}
+	}
+	s.lifecycle.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

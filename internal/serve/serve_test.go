@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/update"
+)
+
+func strideBuild(rs *ruleset.RuleSet) (core.Engine, error) {
+	return stridebv.New(rs.Expand(), 4)
+}
+
+func linearBuild(rs *ruleset.RuleSet) (core.Engine, error) {
+	return core.NewLinear(rs), nil
+}
+
+func prefixSet(t testing.TB, n int, seed int64) *ruleset.RuleSet {
+	t.Helper()
+	return ruleset.Generate(ruleset.GenConfig{N: n, Profile: ruleset.PrefixOnly, Seed: seed, DefaultRule: true})
+}
+
+func mustClose(t testing.TB, s *Service) {
+	t.Helper()
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestServiceClassifiesLikeReference(t *testing.T) {
+	rs := prefixSet(t, 64, 1)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 3000, MatchFraction: 0.8, Seed: 2})
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	ref := core.NewLinear(rs)
+	ctx := context.Background()
+	for lo := 0; lo < len(trace); lo += 128 {
+		hi := lo + 128
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		got, err := svc.Classify(ctx, trace[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range trace[lo:hi] {
+			if want := ref.Classify(h); got[i] != want {
+				t.Fatalf("packet %d: got %d want %d", lo+i, got[i], want)
+			}
+		}
+	}
+	c := svc.Counters()
+	if c.Classified != int64(len(trace)) {
+		t.Fatalf("classified %d, want %d", c.Classified, len(trace))
+	}
+	if c.Batches == 0 || c.QueueHighWater == 0 {
+		t.Fatalf("counters not populated: %+v", c)
+	}
+}
+
+func TestEmptyBatchCompletesImmediately(t *testing.T) {
+	svc, err := New(prefixSet(t, 8, 1), linearBuild, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	got, err := svc.Classify(context.Background(), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+}
+
+// TestCorrectnessAcross100HotSwaps is the headline concurrency guarantee:
+// classification results stay differentially correct against the linear
+// reference while well over 100 hot-swaps land mid-trace. The swaps
+// replace rules with themselves, so every installed engine version is
+// semantically identical and each result has a single ground truth, while
+// the full build-verify-swap machinery still runs for every swap.
+func TestCorrectnessAcross100HotSwaps(t *testing.T) {
+	const wantSwaps = 120
+	rs := prefixSet(t, 64, 3)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 2000, MatchFraction: 0.8, Seed: 4})
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, QueueDepth: 8, VerifyPackets: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+
+	var swapsDone atomic.Bool
+	var updaterErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer swapsDone.Store(true)
+		for n := 0; n < wantSwaps; n++ {
+			cur := svc.RuleSet()
+			ops := []update.Op{
+				{Index: n % cur.Len(), Rule: cur.Rules[n%cur.Len()]},
+				{Index: (n * 7) % cur.Len(), Rule: cur.Rules[(n*7)%cur.Len()]},
+			}
+			if err := svc.ApplyOps(ops); err != nil {
+				updaterErr = err
+				return
+			}
+		}
+	}()
+
+	ref := core.NewLinear(rs)
+	ctx := context.Background()
+	// Keep replaying the trace until every swap has landed, so swaps are
+	// guaranteed to interleave with live classification.
+	for pass := 0; pass == 0 || !swapsDone.Load(); pass++ {
+		for lo := 0; lo < len(trace); lo += 64 {
+			hi := lo + 64
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			got, err := svc.Classify(ctx, trace[lo:hi])
+			if err == ErrQueueFull {
+				lo -= 64
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range trace[lo:hi] {
+				if want := ref.Classify(h); got[i] != want {
+					t.Fatalf("pass %d packet %d diverged mid-swap: got %d want %d", pass, lo+i, got[i], want)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	if updaterErr != nil {
+		t.Fatal(updaterErr)
+	}
+	c := svc.Counters()
+	if c.Swaps < wantSwaps {
+		t.Fatalf("swaps = %d, want >= %d", c.Swaps, wantSwaps)
+	}
+	if c.FailedSwaps != 0 {
+		t.Fatalf("failed swaps = %d", c.FailedSwaps)
+	}
+	if c.SwapLatencyMax == 0 || c.SwapLatencyMean == 0 {
+		t.Fatalf("swap latency not recorded: %+v", c)
+	}
+}
+
+// TestMutatingChurnBatchAtomicity locks in the per-batch consistency
+// guarantee: under semantics-changing churn, every completed batch must
+// match exactly one recorded ruleset version end to end — a mixed batch
+// would prove the swap is not atomic with respect to readers.
+func TestMutatingChurnBatchAtomicity(t *testing.T) {
+	const swaps = 30
+	rs := prefixSet(t, 48, 7)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 1500, MatchFraction: 0.9, Seed: 8})
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 2, QueueDepth: 4, VerifyPackets: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+
+	// versions records every ruleset that has been (or is about to be)
+	// installed, appended before the corresponding swap commits.
+	var (
+		verMu    sync.Mutex
+		versions = []*ruleset.RuleSet{rs}
+	)
+	var swapsDone atomic.Bool
+	var updaterErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer swapsDone.Store(true)
+		for n := 0; n < swaps; n++ {
+			cur := svc.RuleSet()
+			ops, err := update.GenerateOps(cur, 4, int64(100+n))
+			if err != nil {
+				updaterErr = err
+				return
+			}
+			next, err := update.ApplyToRuleSet(cur, ops)
+			if err != nil {
+				updaterErr = err
+				return
+			}
+			verMu.Lock()
+			versions = append(versions, next)
+			verMu.Unlock()
+			if err := svc.ApplyOps(ops); err != nil {
+				updaterErr = err
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	checkBatch := func(hdrs []packet.Header, got []int) {
+		verMu.Lock()
+		vs := append([]*ruleset.RuleSet(nil), versions...)
+		verMu.Unlock()
+		for _, v := range vs {
+			ok := true
+			for i, h := range hdrs {
+				if v.FirstMatch(h) != got[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		t.Fatalf("batch matches no single ruleset version across %d versions", len(vs))
+	}
+	for pass := 0; pass == 0 || !swapsDone.Load(); pass++ {
+		for lo := 0; lo < len(trace); lo += 50 {
+			hi := lo + 50
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			got, err := svc.Classify(ctx, trace[lo:hi])
+			if err == ErrQueueFull {
+				lo -= 50
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBatch(trace[lo:hi], got)
+		}
+	}
+	wg.Wait()
+	if updaterErr != nil {
+		t.Fatal(updaterErr)
+	}
+	if got := svc.Counters().Swaps; got != swaps {
+		t.Fatalf("swaps = %d, want %d", got, swaps)
+	}
+}
+
+// misclassifier is always wrong: -2 is outside the valid result domain.
+type misclassifier struct{ core.Engine }
+
+func (misclassifier) Classify(packet.Header) int { return -2 }
+
+func TestFailedVerifySwapRollsBack(t *testing.T) {
+	rs := prefixSet(t, 32, 11)
+	var builds atomic.Int64
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		eng, err := strideBuild(rs)
+		if err != nil {
+			return nil, err
+		}
+		if builds.Add(1) > 1 {
+			// Every rebuild after the initial one is broken: the shadow
+			// engine must fail differential verification.
+			return misclassifier{eng}, nil
+		}
+		return eng, nil
+	}
+	svc, err := New(rs.Clone(), build, Config{Workers: 1, VerifyPackets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	before := svc.Engine()
+
+	ops, err := update.GenerateOps(rs, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapErr := svc.ApplyOps(ops)
+	if swapErr == nil {
+		t.Fatal("broken shadow engine was swapped in")
+	}
+	if svc.Engine() != before {
+		t.Fatal("engine changed despite failed verification")
+	}
+	// The rolled-back service still classifies with pre-update semantics.
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 13})
+	got, err := svc.Classify(context.Background(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewLinear(rs)
+	for i, h := range trace {
+		if want := ref.Classify(h); got[i] != want {
+			t.Fatalf("post-rollback packet %d: got %d want %d", i, got[i], want)
+		}
+	}
+	c := svc.Counters()
+	if c.FailedSwaps != 1 || c.Swaps != 0 {
+		t.Fatalf("counters = %+v, want 1 failed swap and 0 swaps", c)
+	}
+}
+
+func TestFailedBuildSwapRollsBack(t *testing.T) {
+	rs := prefixSet(t, 16, 14)
+	var builds atomic.Int64
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		if builds.Add(1) > 1 {
+			return nil, errors.New("synthetic build failure")
+		}
+		return linearBuild(rs)
+	}
+	svc, err := New(rs.Clone(), build, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	before := svc.Engine()
+	if err := svc.Reload(prefixSet(t, 16, 15)); err == nil {
+		t.Fatal("failed build swapped in")
+	}
+	if svc.Engine() != before {
+		t.Fatal("engine changed despite failed build")
+	}
+}
+
+func TestReloadSwapsFullRuleset(t *testing.T) {
+	rsA := prefixSet(t, 32, 16)
+	rsB := prefixSet(t, 48, 17)
+	svc, err := New(rsA.Clone(), strideBuild, Config{Workers: 2, VerifyPackets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	if err := svc.Reload(rsB); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Engine().NumRules(); got != rsB.Len() {
+		t.Fatalf("NumRules = %d, want %d", got, rsB.Len())
+	}
+	trace := ruleset.GenerateTrace(rsB, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 18})
+	got, err := svc.Classify(context.Background(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewLinear(rsB)
+	for i, h := range trace {
+		if want := ref.Classify(h); got[i] != want {
+			t.Fatalf("post-reload packet %d: got %d want %d", i, got[i], want)
+		}
+	}
+	if err := svc.Reload(&ruleset.RuleSet{}); err == nil {
+		t.Fatal("empty reload accepted")
+	}
+}
+
+// blockingEngine parks every Classify call until released, reporting each
+// entry so tests can wait for the worker to actually pick a batch up.
+type blockingEngine struct {
+	core.Engine
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b blockingEngine) Classify(h packet.Header) int {
+	select {
+	case b.entered <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return b.Engine.Classify(h)
+}
+
+func TestBackpressureRejectsWhenFull(t *testing.T) {
+	rs := prefixSet(t, 8, 19)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		return blockingEngine{core.NewLinear(rs), entered, release}, nil
+	}
+	svc, err := New(rs, build, Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []packet.Header{{Proto: 6}}
+	// One batch occupies the worker (wait until it is actually dequeued),
+	// two fill the queue; the next must be rejected rather than queued.
+	var pending []*Pending
+	for i := 0; i < 3; i++ {
+		p, err := svc.Submit(h)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		pending = append(pending, p)
+		if i == 0 {
+			<-entered
+		}
+	}
+	if _, err := svc.Submit(h); err != ErrQueueFull {
+		t.Fatalf("overfull submit: err = %v, want ErrQueueFull", err)
+	}
+	if got := svc.Counters().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	close(release)
+	for _, p := range pending {
+		if _, err := p.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustClose(t, svc)
+	if got := svc.Counters().QueueHighWater; got < 2 {
+		t.Fatalf("queue high-water = %d, want >= 2", got)
+	}
+}
+
+func TestCloseDrainsInFlightAndRejectsAfter(t *testing.T) {
+	rs := prefixSet(t, 8, 20)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		return blockingEngine{core.NewLinear(rs), entered, release}, nil
+	}
+	svc, err := New(rs, build, Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []packet.Header{{Proto: 17}}
+	var pending []*Pending
+	for i := 0; i < 3; i++ {
+		p, err := svc.Submit(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+	}
+	// A bounded Close deadline expires while the worker is parked.
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := svc.Close(short); err == nil {
+		t.Fatal("close returned before drain completed")
+	}
+	if _, err := svc.Submit(h); err != ErrClosed {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+	// Releasing the engine lets the graceful drain finish: every batch
+	// submitted before Close still completes.
+	close(release)
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	for i, p := range pending {
+		select {
+		case <-p.done:
+		default:
+			t.Fatalf("batch %d dropped during shutdown", i)
+		}
+		if _, err := p.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	rs := prefixSet(t, 8, 21)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		return blockingEngine{core.NewLinear(rs), entered, release}, nil
+	}
+	svc, err := New(rs, build, Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := svc.Submit([]packet.Header{{Proto: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := p.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("wait err = %v, want deadline exceeded", err)
+	}
+	close(release)
+	mustClose(t, svc)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, linearBuild, Config{}); err == nil {
+		t.Fatal("nil ruleset accepted")
+	}
+	if _, err := New(prefixSet(t, 8, 22), nil, Config{}); err == nil {
+		t.Fatal("nil build accepted")
+	}
+	broken := func(*ruleset.RuleSet) (core.Engine, error) { return nil, errors.New("nope") }
+	if _, err := New(prefixSet(t, 8, 23), broken, Config{}); err == nil {
+		t.Fatal("failed initial build accepted")
+	}
+}
+
+func BenchmarkServiceClassify(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 512, Profile: ruleset.PrefixOnly, Seed: 1, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 4096, MatchFraction: 0.8, Seed: 2})
+	svc, err := New(rs, strideBuild, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < len(trace); lo += 256 {
+			hi := lo + 256
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			if _, err := svc.Classify(ctx, trace[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(len(trace)) * packet.MinPacketBits / 8)
+}
+
+func BenchmarkHotSwap(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 256, Profile: ruleset.PrefixOnly, Seed: 3, DefaultRule: true})
+	svc, err := New(rs.Clone(), strideBuild, Config{VerifyPackets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := svc.RuleSet()
+		ops := []update.Op{{Index: i % cur.Len(), Rule: cur.Rules[i%cur.Len()]}}
+		if err := svc.ApplyOps(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

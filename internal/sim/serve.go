@@ -1,0 +1,206 @@
+// ServeTrace: the lookup-under-update experiment. The paper asserts both
+// engines stay at wire speed while rules are reconfigured (Section IV-C)
+// but never measures the interaction; this harness replays a trace through
+// the concurrent serving layer while an updater continuously lands
+// hot-swaps, and reports the throughput cost of update churn against the
+// same engine measured churn-free.
+
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/serve"
+	"pktclass/internal/update"
+)
+
+// ServeConfig parameterizes a ServeTrace run.
+type ServeConfig struct {
+	// Workers and QueueDepth configure the service (see serve.Config).
+	Workers    int
+	QueueDepth int
+	// BatchSize is the submission granularity (0 selects 64).
+	BatchSize int
+	// Swaps bounds the number of hot-swaps the updater lands; <= 0 churns
+	// continuously until the replay completes.
+	Swaps int
+	// OpsPerSwap is the number of rule replacements per swap (0 selects 8).
+	OpsPerSwap int
+	// VerifyPackets is the per-swap differential verification trace length
+	// (see serve.Config.VerifyPackets).
+	VerifyPackets int
+	// Churn false replays with no updater at all.
+	Churn bool
+	// Seed makes the update stream deterministic.
+	Seed int64
+}
+
+// ServeResult is the outcome of one lookup-under-update replay.
+type ServeResult struct {
+	// Results holds the per-packet classifications in trace order. Batches
+	// land atomically on one engine version, so under semantics-changing
+	// churn a packet's result reflects the version its batch observed.
+	Results []int
+	Packets int
+	Elapsed time.Duration
+	// PacketsPerSec is the service throughput measured under churn.
+	PacketsPerSec float64
+	// BaselinePacketsPerSec is ClassifyBatch on the same engine with no
+	// service and no churn — the reference for degradation.
+	BaselinePacketsPerSec float64
+	// DegradationPct is the relative throughput loss versus the baseline
+	// (negative when the serving layer happens to measure faster).
+	DegradationPct float64
+	// Resubmits counts batches that hit backpressure and were retried
+	// after draining an in-flight batch.
+	Resubmits int64
+	// Counters is the service's own accounting (swap count and latency,
+	// queue high-water mark, rejections).
+	Counters serve.Counters
+}
+
+// ServeTrace replays the trace through a serve.Service in batches while an
+// updater goroutine applies rule replacements through the shadow-swap
+// path. Churn requires a prefix-only ruleset (update.GenerateOps's
+// constraint). The input ruleset is cloned; the caller's copy is never
+// mutated.
+func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Header, cfg ServeConfig) (ServeResult, error) {
+	if len(trace) == 0 {
+		return ServeResult{}, fmt.Errorf("sim: empty trace")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.OpsPerSwap <= 0 {
+		cfg.OpsPerSwap = 8
+	}
+	if cfg.Churn && rs.ExpansionFactor() != 1 {
+		return ServeResult{}, fmt.Errorf("sim: churn requires a prefix-only ruleset (expansion factor %.2f)", rs.ExpansionFactor())
+	}
+
+	// Churn-free reference on the same engine construction.
+	baseEng, err := build(rs.Clone())
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("sim: baseline build: %w", err)
+	}
+	baseline := ClassifyBatch(baseEng, trace, cfg.Workers)
+
+	svc, err := serve.New(rs.Clone(), build, serve.Config{
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		VerifyPackets: cfg.VerifyPackets,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer svc.Close(context.Background())
+
+	var (
+		replayDone atomic.Bool
+		updaterErr error
+		updaterWG  sync.WaitGroup
+	)
+	if cfg.Churn {
+		updaterWG.Add(1)
+		go func() {
+			defer updaterWG.Done()
+			seed := cfg.Seed + 1
+			for n := 0; cfg.Swaps <= 0 || n < cfg.Swaps; n++ {
+				if replayDone.Load() {
+					return
+				}
+				ops, err := update.GenerateOps(svc.RuleSet(), cfg.OpsPerSwap, seed)
+				if err != nil {
+					updaterErr = err
+					return
+				}
+				seed++
+				if err := svc.ApplyOps(ops); err != nil {
+					updaterErr = err
+					return
+				}
+			}
+		}()
+	}
+
+	type inflight struct {
+		p  *serve.Pending
+		lo int
+	}
+	results := make([]int, len(trace))
+	var (
+		window    []inflight
+		resubmits int64
+	)
+	drainOldest := func() error {
+		f := window[0]
+		window = window[1:]
+		r, err := f.p.Wait(context.Background())
+		if err != nil {
+			return err
+		}
+		copy(results[f.lo:], r)
+		return nil
+	}
+	start := time.Now()
+	for lo := 0; lo < len(trace); lo += cfg.BatchSize {
+		hi := lo + cfg.BatchSize
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		for {
+			p, err := svc.Submit(trace[lo:hi])
+			if err == serve.ErrQueueFull {
+				// Backpressure: free a slot by completing the oldest
+				// in-flight batch, then retry.
+				resubmits++
+				if err := drainOldest(); err != nil {
+					return ServeResult{}, err
+				}
+				continue
+			}
+			if err != nil {
+				return ServeResult{}, err
+			}
+			window = append(window, inflight{p: p, lo: lo})
+			break
+		}
+	}
+	for len(window) > 0 {
+		if err := drainOldest(); err != nil {
+			return ServeResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	replayDone.Store(true)
+	updaterWG.Wait()
+	if updaterErr != nil {
+		return ServeResult{}, fmt.Errorf("sim: updater: %w", updaterErr)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		return ServeResult{}, err
+	}
+
+	r := ServeResult{
+		Results:               results,
+		Packets:               len(trace),
+		Elapsed:               elapsed,
+		BaselinePacketsPerSec: baseline.PacketsPerSec,
+		Resubmits:             resubmits,
+		Counters:              svc.Counters(),
+	}
+	if elapsed > 0 {
+		r.PacketsPerSec = float64(len(trace)) / elapsed.Seconds()
+	}
+	if r.BaselinePacketsPerSec > 0 {
+		r.DegradationPct = 100 * (r.BaselinePacketsPerSec - r.PacketsPerSec) / r.BaselinePacketsPerSec
+	}
+	return r, nil
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+)
+
+func serveBuild(rs *ruleset.RuleSet) (core.Engine, error) {
+	return stridebv.New(rs.Expand(), 4)
+}
+
+func TestServeTraceNoChurnMatchesReference(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 21, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 5000, MatchFraction: 0.8, Seed: 22})
+	res, err := ServeTrace(rs, serveBuild, trace, ServeConfig{Workers: 4, BatchSize: 128, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != len(trace) || len(res.Results) != len(trace) {
+		t.Fatalf("sizing wrong: %d/%d", res.Packets, len(res.Results))
+	}
+	for i, h := range trace {
+		if want := rs.FirstMatch(h); res.Results[i] != want {
+			t.Fatalf("packet %d: got %d want %d", i, res.Results[i], want)
+		}
+	}
+	if res.PacketsPerSec <= 0 || res.BaselinePacketsPerSec <= 0 {
+		t.Fatalf("rates not measured: %+v", res)
+	}
+	if res.Counters.Classified != int64(len(trace)) {
+		t.Fatalf("classified = %d, want %d", res.Counters.Classified, len(trace))
+	}
+	if res.Counters.Swaps != 0 {
+		t.Fatalf("unexpected swaps: %d", res.Counters.Swaps)
+	}
+}
+
+func TestServeTraceUnderChurn(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 24, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 20000, MatchFraction: 0.8, Seed: 25})
+	res, err := ServeTrace(rs, serveBuild, trace, ServeConfig{
+		Workers: 2, BatchSize: 64, Churn: true, Swaps: 5, OpsPerSwap: 4,
+		VerifyPackets: 32, Seed: 26,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Classified != int64(len(trace)) {
+		t.Fatalf("classified = %d, want %d", res.Counters.Classified, len(trace))
+	}
+	if res.Counters.FailedSwaps != 0 {
+		t.Fatalf("failed swaps: %d", res.Counters.FailedSwaps)
+	}
+	if res.Counters.Swaps > 5 {
+		t.Fatalf("swaps = %d, want <= 5", res.Counters.Swaps)
+	}
+	// The input ruleset must be untouched by churn.
+	check := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 24, DefaultRule: true})
+	for i := range rs.Rules {
+		if rs.Rules[i] != check.Rules[i] {
+			t.Fatalf("caller ruleset mutated at rule %d", i)
+		}
+	}
+}
+
+func TestServeTraceChurnRequiresPrefixOnly(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.FirewallProfile, Seed: 27, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 100, MatchFraction: 0.8, Seed: 28})
+	if _, err := ServeTrace(rs, serveBuild, trace, ServeConfig{Churn: true}); err == nil {
+		t.Fatal("range ruleset accepted for churn")
+	}
+}
+
+func TestServeTraceEmptyTrace(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 8, Profile: ruleset.PrefixOnly, Seed: 29, DefaultRule: true})
+	if _, err := ServeTrace(rs, serveBuild, nil, ServeConfig{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestServeTraceSmallQueueBackpressure(t *testing.T) {
+	// A one-batch queue forces the replay loop through its backpressure
+	// path; results must still come back complete and ordered.
+	rs := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.PrefixOnly, Seed: 30, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 3000, MatchFraction: 0.8, Seed: 31})
+	res, err := ServeTrace(rs, serveBuild, trace, ServeConfig{Workers: 1, QueueDepth: 1, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if want := rs.FirstMatch(h); res.Results[i] != want {
+			t.Fatalf("packet %d: got %d want %d", i, res.Results[i], want)
+		}
+	}
+}
+
+func BenchmarkServeTraceChurn(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 256, Profile: ruleset.PrefixOnly, Seed: 32, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 10000, MatchFraction: 0.8, Seed: 33})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ServeTrace(rs, serveBuild, trace, ServeConfig{Churn: true, Swaps: 3, VerifyPackets: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,10 +18,10 @@ import (
 
 // BatchResult summarizes a software classification run.
 type BatchResult struct {
-	Results  []int
-	Packets  int
-	Elapsed  time.Duration
-	Workers  int
+	Results []int
+	Packets int
+	Elapsed time.Duration
+	Workers int
 	// PacketsPerSec is the measured software classification rate.
 	PacketsPerSec float64
 }
@@ -31,10 +31,15 @@ type BatchResult struct {
 // must be safe for concurrent use; every engine in this repository is,
 // because classification only reads the built structures.
 func ClassifyBatch(eng core.Engine, trace []packet.Header, workers int) BatchResult {
+	if len(trace) == 0 {
+		// No work: report zero packets over zero workers rather than
+		// spinning up goroutines on degenerate chunk math.
+		return BatchResult{Results: []int{}}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(trace) && len(trace) > 0 {
+	if workers > len(trace) {
 		workers = len(trace)
 	}
 	results := make([]int, len(trace))

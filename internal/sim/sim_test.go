@@ -45,9 +45,47 @@ func TestClassifyBatchMatchesSequential(t *testing.T) {
 func TestClassifyBatchEmptyTrace(t *testing.T) {
 	rs, _, engines, _ := fixtures(t, 8, 0)
 	_ = rs
-	br := ClassifyBatch(engines[0], nil, 4)
-	if br.Packets != 0 || len(br.Results) != 0 {
-		t.Fatalf("empty trace handled badly: %+v", br)
+	// Every worker count, including the GOMAXPROCS default, must short-
+	// circuit: no goroutines, no division games with a zero-length chunk.
+	for _, workers := range []int{0, 1, 4, 100} {
+		br := ClassifyBatch(engines[0], nil, workers)
+		if br.Packets != 0 || len(br.Results) != 0 {
+			t.Fatalf("workers=%d: empty trace handled badly: %+v", workers, br)
+		}
+		if br.Workers != 0 {
+			t.Fatalf("workers=%d: reported %d workers for zero packets", workers, br.Workers)
+		}
+		if br.PacketsPerSec != 0 {
+			t.Fatalf("workers=%d: nonzero rate %f for zero packets", workers, br.PacketsPerSec)
+		}
+	}
+}
+
+func TestClassifyBatchMoreWorkersThanPackets(t *testing.T) {
+	rs, _, engines, _ := fixtures(t, 16, 0)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 3, MatchFraction: 0.9, Seed: 6})
+	for _, eng := range engines {
+		br := ClassifyBatch(eng, trace, 64)
+		if br.Workers != len(trace) {
+			t.Fatalf("%s: workers = %d, want clamp to %d", eng.Name(), br.Workers, len(trace))
+		}
+		for i, h := range trace {
+			if br.Results[i] != rs.FirstMatch(h) {
+				t.Fatalf("%s: packet %d wrong", eng.Name(), i)
+			}
+		}
+	}
+}
+
+func TestClassifyBatchSinglePacket(t *testing.T) {
+	rs, _, engines, _ := fixtures(t, 16, 0)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 1, MatchFraction: 1, Seed: 7})
+	br := ClassifyBatch(engines[0], trace, 0)
+	if br.Workers != 1 || br.Packets != 1 {
+		t.Fatalf("single packet: %+v", br)
+	}
+	if br.Results[0] != rs.FirstMatch(trace[0]) {
+		t.Fatal("single packet misclassified")
 	}
 }
 

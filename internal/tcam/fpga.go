@@ -41,7 +41,7 @@ type FPGA struct {
 	// shadow keeps the programmed ternary words for OpRead (hardware keeps
 	// this in a side RAM since SRL truth tables are not invertible).
 	shadow []ruleset.Ternary
-	pe *penc.Pipelined
+	pe     *penc.Pipelined
 	// busyUntil is the cycle count until which the write port is occupied.
 	cycle     int64
 	busyUntil int64

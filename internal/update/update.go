@@ -120,6 +120,21 @@ func ApplyToTCAM(fp *tcam.FPGA, rs *ruleset.RuleSet, ops []Op) (Cost, error) {
 	}, nil
 }
 
+// ApplyToRuleSet returns a new ruleset with the ops applied, leaving the
+// input untouched. This is the shadow-copy path the serving layer uses:
+// the live engine keeps classifying against the old ruleset while a
+// replacement engine is built from the returned clone.
+func ApplyToRuleSet(rs *ruleset.RuleSet, ops []Op) (*ruleset.RuleSet, error) {
+	out := rs.Clone()
+	for _, op := range ops {
+		if op.Index < 0 || op.Index >= out.Len() {
+			return nil, fmt.Errorf("update: index %d out of range [0,%d)", op.Index, out.Len())
+		}
+		out.Rules[op.Index] = op.Rule
+	}
+	return out, nil
+}
+
 // VerifyAfterUpdates checks a live engine against a reference engine
 // rebuilt from the mutated ruleset, over a directed trace.
 func VerifyAfterUpdates(rs *ruleset.RuleSet, classify func(packet.Header) int, seed int64) error {

@@ -163,3 +163,44 @@ func TestApplyRejectsBadOps(t *testing.T) {
 		t.Fatal("TCAM accepted expanding replacement")
 	}
 }
+
+func TestApplyToRuleSetDoesNotMutateInput(t *testing.T) {
+	rs := prefixOnlySet(t, 32, 30)
+	orig := rs.Clone()
+	ops, err := GenerateOps(rs, 10, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ApplyToRuleSet(rs, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs.Rules {
+		if rs.Rules[i] != orig.Rules[i] {
+			t.Fatalf("input ruleset mutated at rule %d", i)
+		}
+	}
+	// The clone reflects every op, last-write-wins on duplicate indices.
+	want := map[int]ruleset.Rule{}
+	for _, op := range ops {
+		want[op.Index] = op.Rule
+	}
+	for idx, r := range want {
+		if out.Rules[idx] != r {
+			t.Fatalf("op not applied at index %d", idx)
+		}
+	}
+	if out.Len() != rs.Len() {
+		t.Fatalf("length changed: %d -> %d", rs.Len(), out.Len())
+	}
+}
+
+func TestApplyToRuleSetRejectsBadIndex(t *testing.T) {
+	rs := prefixOnlySet(t, 8, 32)
+	if _, err := ApplyToRuleSet(rs, []Op{{Index: 8, Rule: rs.Rules[0]}}); err == nil {
+		t.Fatal("accepted out-of-range index")
+	}
+	if _, err := ApplyToRuleSet(rs, []Op{{Index: -1, Rule: rs.Rules[0]}}); err == nil {
+		t.Fatal("accepted negative index")
+	}
+}
