@@ -1,0 +1,116 @@
+package pktclass
+
+// Batched classification benchmarks: the software analogue of the paper's
+// throughput claims. Each iteration classifies one batchBenchSize-packet
+// batch through the engine's native ClassifyBatch path; the reported
+// ns/pkt metric and the allocs/op column are the numbers the BENCH_*.json
+// snapshots track. The StrideBV batch path must stay at 0 allocs/op in
+// steady state (CI gates on it); run with
+//
+//	go test -bench 'Batch$' -benchmem
+//
+// N sweeps the paper's ruleset sizes, k the strides it evaluates.
+
+import (
+	"fmt"
+	"testing"
+
+	"pktclass/internal/core"
+)
+
+const batchBenchSize = 1024
+
+var batchBenchNs = []int{32, 128, 512, 2048}
+
+func benchBatch(b *testing.B, eng Engine, trace []Header) {
+	b.Helper()
+	out := make([]int, len(trace))
+	ClassifyBatch(eng, trace, out) // warm any scratch pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifyBatch(eng, trace, out)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(trace)), "ns/pkt")
+	}
+}
+
+func batchBenchTrace(b *testing.B, rs *RuleSet) []Header {
+	b.Helper()
+	return GenerateTrace(rs, batchBenchSize, 0.9, 2)
+}
+
+func BenchmarkStrideBVBatch(b *testing.B) {
+	for _, k := range []int{3, 4} {
+		for _, n := range batchBenchNs {
+			b.Run(fmt.Sprintf("k%d/N%d", k, n), func(b *testing.B) {
+				rs := GenerateRuleSet(n, "prefix-only", 1)
+				eng, err := NewStrideBV(rs, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchBatch(b, eng, batchBenchTrace(b, rs))
+			})
+		}
+	}
+}
+
+func BenchmarkRangeBVBatch(b *testing.B) {
+	for _, k := range []int{3, 4} {
+		for _, n := range batchBenchNs {
+			b.Run(fmt.Sprintf("k%d/N%d", k, n), func(b *testing.B) {
+				// The range engine's point is native port ranges, so it gets
+				// the range-heavy firewall profile rather than prefix-only.
+				rs := GenerateRuleSet(n, "firewall", 1)
+				eng, err := NewRangeStrideBV(rs, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchBatch(b, eng, batchBenchTrace(b, rs))
+			})
+		}
+	}
+}
+
+func BenchmarkTCAMBatch(b *testing.B) {
+	for _, n := range batchBenchNs {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			rs := GenerateRuleSet(n, "prefix-only", 1)
+			benchBatch(b, NewTCAM(rs), batchBenchTrace(b, rs))
+		})
+	}
+}
+
+func BenchmarkLinearBatch(b *testing.B) {
+	for _, n := range batchBenchNs {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			rs := GenerateRuleSet(n, "prefix-only", 1)
+			benchBatch(b, NewLinear(rs), batchBenchTrace(b, rs))
+		})
+	}
+}
+
+// The generic fallback in core.ClassifyBatchInto is the baseline the native
+// paths are measured against: same engine, per-packet interface calls.
+func BenchmarkStrideBVPerPacketBaseline(b *testing.B) {
+	rs := GenerateRuleSet(512, "prefix-only", 1)
+	eng, err := NewStrideBV(rs, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := batchBenchTrace(b, rs)
+	out := make([]int, len(trace))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, h := range trace {
+			out[j] = core.Engine(eng).Classify(h)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(trace)), "ns/pkt")
+	}
+}

@@ -1,0 +1,56 @@
+package pktclass
+
+import (
+	"testing"
+
+	"pktclass/internal/cli"
+)
+
+// ClassifyBatch must be bit-identical to per-packet Classify for every
+// engine the CLI can build — the engines with native batch paths (StrideBV,
+// RangeStrideBV, TCAM, linear) and the ones that ride the generic fallback
+// (HiCuts, the cycle-accounted FPGA TCAM) alike. Empty and single-packet
+// batches are the degenerate cases that tend to break scratch reuse.
+// CI also runs this under -race, which exercises the scratch pools across
+// the test binary's goroutines.
+func TestClassifyBatchMatchesClassifyAllEngines(t *testing.T) {
+	for _, name := range cli.EngineNames() {
+		for _, profile := range []string{"firewall", "prefix-only"} {
+			for seed := int64(1); seed <= 2; seed++ {
+				rs := GenerateRuleSet(96, profile, 60+seed)
+				eng, err := cli.BuildEngine(rs, name, 4)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, profile, err)
+				}
+				trace := GenerateTrace(rs, 512, 0.7, 70+seed)
+				for _, n := range []int{0, 1, 5, len(trace)} {
+					batch := trace[:n]
+					out := make([]int, n)
+					// Poison the output so untouched slots are caught.
+					for i := range out {
+						out[i] = -99
+					}
+					ClassifyBatch(eng, batch, out)
+					for i, h := range batch {
+						if want := eng.Classify(h); out[i] != want {
+							t.Fatalf("%s/%s seed %d batch[%d/%d]: got %d want %d",
+								name, profile, seed, i, n, out[i], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyBatchLengthMismatchPanics(t *testing.T) {
+	rs := GenerateRuleSet(8, "prefix-only", 80)
+	eng := NewLinear(rs)
+	trace := GenerateTrace(rs, 4, 0.5, 81)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched out length accepted")
+		}
+	}()
+	ClassifyBatch(eng, trace, make([]int, len(trace)-1))
+}

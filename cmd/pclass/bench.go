@@ -1,0 +1,187 @@
+// The bench subcommand: measure the software classification rate of each
+// engine's batched fast path over synthetic rulesets at the paper's sizes,
+// and optionally emit a BENCH_*.json snapshot so successive revisions can
+// track pkts/sec, ns/pkt and allocs/pkt over time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pktclass/internal/cli"
+	"pktclass/internal/core"
+	"pktclass/internal/ruleset"
+)
+
+// benchResult is one (engine, stride, ruleset size) measurement.
+type benchResult struct {
+	Engine       string  `json:"engine"`
+	Rules        int     `json:"rules"`
+	Stride       int     `json:"stride,omitempty"`
+	BatchSize    int     `json:"batch_size"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+}
+
+// benchSnapshot is the BENCH_*.json document.
+type benchSnapshot struct {
+	Date    string        `json:"date"`
+	Go      string        `json:"go"`
+	Profile string        `json:"profile"`
+	Results []benchResult `json:"results"`
+}
+
+func runBench(args []string) {
+	fs := flag.NewFlagSet("pclass bench", flag.ExitOnError)
+	var (
+		engines  = fs.String("engines", "stridebv,fsbv,rangebv,tcam,linear", "comma-separated engines to measure")
+		sizes    = fs.String("sizes", "32,128,512,2048", "comma-separated ruleset sizes")
+		strides  = fs.String("strides", "3,4", "comma-separated strides for stridebv/rangebv")
+		packets  = fs.Int("packets", 1024, "packets per classified batch")
+		profile  = fs.String("profile", "prefix-only", "ruleset profile: firewall | feature-free | prefix-only")
+		jsonOut  = fs.Bool("json", false, "emit the snapshot as JSON on stdout")
+		outPath  = fs.String("out", "", "write the JSON snapshot to this file (implies -json)")
+		seedFlag = fs.Int64("seed", 1, "deterministic seed for rulesets and traces")
+	)
+	fs.Parse(args)
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		log.Fatalf("-sizes: %v", err)
+	}
+	ks, err := parseInts(*strides)
+	if err != nil {
+		log.Fatalf("-strides: %v", err)
+	}
+
+	snap := benchSnapshot{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Profile: *profile,
+	}
+	for _, name := range strings.Split(*engines, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// Only the stride-parameterized engines sweep k; the rest run once
+		// per size with the stride recorded as 0.
+		engKs := []int{0}
+		if name == "stridebv" || name == "rangebv" {
+			engKs = ks
+		}
+		for _, k := range engKs {
+			for _, n := range ns {
+				r, err := benchOne(name, k, n, *packets, *profile, *seedFlag)
+				if err != nil {
+					log.Fatalf("%s N=%d: %v", name, n, err)
+				}
+				snap.Results = append(snap.Results, r)
+				if !*jsonOut && *outPath == "" {
+					printBenchRow(r)
+				}
+			}
+		}
+	}
+
+	if *outPath != "" || *jsonOut {
+		doc, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc = append(doc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d results to %s\n", len(snap.Results), *outPath)
+			return
+		}
+		os.Stdout.Write(doc)
+	}
+}
+
+// benchOne measures one engine configuration with the testing package's
+// adaptive benchmark loop: each op classifies a whole batch through the
+// engine's native ClassifyBatch path (or the generic fallback).
+func benchOne(name string, stride, rules, packets int, profile string, seed int64) (benchResult, error) {
+	p := ruleset.FirewallProfile
+	switch profile {
+	case "feature-free":
+		p = ruleset.FeatureFree
+	case "prefix-only":
+		p = ruleset.PrefixOnly
+	}
+	rs := ruleset.Generate(ruleset.GenConfig{N: rules, Profile: p, Seed: seed, DefaultRule: true})
+	buildStride := stride
+	if buildStride == 0 {
+		buildStride = 4
+	}
+	eng, err := cli.BuildEngine(rs, name, buildStride)
+	if err != nil {
+		return benchResult{}, err
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Count: packets, MatchFraction: 0.9, Locality: 0.3, Seed: seed + 1,
+	})
+	out := make([]int, len(trace))
+	core.ClassifyBatchInto(eng, trace, out) // warm any scratch pools
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.ClassifyBatchInto(eng, trace, out)
+		}
+	})
+	nsPerPkt := float64(br.NsPerOp()) / float64(len(trace))
+	r := benchResult{
+		Engine:       name,
+		Rules:        rules,
+		Stride:       stride,
+		BatchSize:    packets,
+		NsPerPkt:     nsPerPkt,
+		AllocsPerPkt: float64(br.AllocsPerOp()) / float64(len(trace)),
+	}
+	if nsPerPkt > 0 {
+		r.PktsPerSec = 1e9 / nsPerPkt
+	}
+	return r, nil
+}
+
+func printBenchRow(r benchResult) {
+	label := r.Engine
+	if r.Stride > 0 {
+		label = fmt.Sprintf("%s-k%d", r.Engine, r.Stride)
+	}
+	fmt.Printf("%-14s N=%-5d %10.1f ns/pkt %14.0f pkt/s %8.3f allocs/pkt\n",
+		label, r.Rules, r.NsPerPkt, r.PktsPerSec, r.AllocsPerPkt)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@
 //	pclass -rules rules.txt -trace trace.bin -engine tcam -v
 //	pclass serve -rules rules.txt -clients 8 -update-every 5ms
 //	pclass serve -rules rules.txt -measure
+//	pclass bench -engines stridebv,tcam -sizes 32,512 -json -out BENCH.json
 //
 // Engines: stridebv | fsbv | rangebv | tcam | tcam-fpga | hicuts | linear.
 // Traces may be text or binary (format is sniffed). Every run is
@@ -16,6 +17,9 @@
 // load generator drives worker goroutines while an optional updater lands
 // atomic ruleset hot-swaps (-update-every); -measure instead replays the
 // trace once under continuous churn and reports throughput degradation.
+//
+// The bench subcommand measures each engine's batched classification rate
+// over synthetic rulesets and can emit a BENCH_*.json snapshot.
 package main
 
 import (
@@ -38,6 +42,10 @@ func main() {
 	log.SetPrefix("pclass: ")
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
 		return
 	}
 	var (

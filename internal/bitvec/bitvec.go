@@ -58,6 +58,14 @@ func (v Vector) Clone() Vector {
 	return w
 }
 
+// CopyFrom overwrites v with the bits of o without allocating. Lengths must
+// match. This is the allocation-free alternative to Clone for callers that
+// recycle a scratch vector across classifications.
+func (v Vector) CopyFrom(o Vector) {
+	v.checkLen(o)
+	copy(v.words, o.words)
+}
+
 // Set sets bit i to 1.
 func (v Vector) Set(i int) {
 	v.check(i)

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"pktclass/internal/packet"
+)
+
+// BatchClassifier is implemented by engines with a native batched
+// classification path. ClassifyBatch fills out[i] with the result of
+// classifying hdrs[i] — bit-identical to per-packet Classify — and must be
+// safe for concurrent use, like Classify. Native implementations amortize
+// per-lookup setup (scratch vectors, stride address extraction) across the
+// batch so the steady-state path allocates nothing.
+type BatchClassifier interface {
+	ClassifyBatch(hdrs []packet.Header, out []int)
+}
+
+// ClassifyBatchInto classifies hdrs into out, dispatching to the engine's
+// native batch path when it has one and falling back to a per-packet loop
+// otherwise. len(out) must equal len(hdrs).
+func ClassifyBatchInto(eng Engine, hdrs []packet.Header, out []int) {
+	if len(out) != len(hdrs) {
+		panic(fmt.Sprintf("core: batch output length %d != input length %d", len(out), len(hdrs)))
+	}
+	if bc, ok := eng.(BatchClassifier); ok {
+		bc.ClassifyBatch(hdrs, out)
+		return
+	}
+	for i, h := range hdrs {
+		out[i] = eng.Classify(h)
+	}
+}
+
+// ClassifyBatch classifies hdrs in one batch and returns a freshly
+// allocated result slice. It is the convenience form of ClassifyBatchInto.
+func ClassifyBatch(eng Engine, hdrs []packet.Header) []int {
+	out := make([]int, len(hdrs))
+	ClassifyBatchInto(eng, hdrs, out)
+	return out
+}

@@ -42,6 +42,13 @@ func (l *Linear) Name() string { return "linear-reference" }
 // Classify returns the first matching rule index, or -1.
 func (l *Linear) Classify(h packet.Header) int { return l.rs.FirstMatch(h) }
 
+// ClassifyBatch classifies hdrs into out (the BatchClassifier fast path).
+func (l *Linear) ClassifyBatch(hdrs []packet.Header, out []int) {
+	for i, h := range hdrs {
+		out[i] = l.rs.FirstMatch(h)
+	}
+}
+
 // MultiMatch returns all matching rule indices in priority order.
 func (l *Linear) MultiMatch(h packet.Header) []int { return l.rs.AllMatches(h) }
 

@@ -109,6 +109,38 @@ func (k Key) Stride(off, kbits int) int {
 	return v
 }
 
+// StridesInto fills dst[s] with the k-bit stride value at stage s for every
+// stage of a kbits decomposition (dst must have NumStrides(kbits) entries).
+// It is the batched-datapath form of Stride: the 104 key bits are loaded
+// into two machine words once and each stage address is a pair of shifts,
+// instead of ceil(W/k) independent bit-by-bit extractions.
+func (k Key) StridesInto(kbits int, dst []int) {
+	stages := NumStrides(kbits)
+	if len(dst) < stages {
+		panic(fmt.Sprintf("packet: stride buffer %d short of %d stages", len(dst), stages))
+	}
+	// The key as a left-aligned 128-bit value hi:lo; bits W..127 are zero,
+	// matching the zero padding Stride applies past the final bit.
+	hi := uint64(k[0])<<56 | uint64(k[1])<<48 | uint64(k[2])<<40 | uint64(k[3])<<32 |
+		uint64(k[4])<<24 | uint64(k[5])<<16 | uint64(k[6])<<8 | uint64(k[7])
+	lo := uint64(k[8])<<56 | uint64(k[9])<<48 | uint64(k[10])<<40 | uint64(k[11])<<32 |
+		uint64(k[12])<<24
+	mask := uint64(1)<<uint(kbits) - 1
+	for s, off := 0, 0; s < stages; s, off = s+1, off+kbits {
+		end := off + kbits
+		var v uint64
+		switch {
+		case end <= 64:
+			v = hi >> uint(64-end)
+		case off >= 64:
+			v = lo >> uint(128-end)
+		default:
+			v = hi<<uint(end-64) | lo>>uint(128-end)
+		}
+		dst[s] = int(v & mask)
+	}
+}
+
 // String renders the header in the ruleset text format's header form.
 func (h Header) String() string {
 	return fmt.Sprintf("%s %s %d %d %d",

@@ -1,0 +1,53 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// StridesInto is the batched fast path of Stride; the two must agree bit
+// for bit for every stride width and random key.
+func TestStridesIntoMatchesStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for kbits := 1; kbits <= 8; kbits++ {
+		stages := NumStrides(kbits)
+		addrs := make([]int, stages)
+		for trial := 0; trial < 200; trial++ {
+			h := Header{
+				SIP:   rng.Uint32(),
+				DIP:   rng.Uint32(),
+				SP:    uint16(rng.Uint32()),
+				DP:    uint16(rng.Uint32()),
+				Proto: uint8(rng.Uint32()),
+			}
+			key := h.Key()
+			key.StridesInto(kbits, addrs)
+			for s := 0; s < stages; s++ {
+				if want := key.Stride(s*kbits, kbits); addrs[s] != want {
+					t.Fatalf("k=%d stage %d: StridesInto=%d Stride=%d for %s",
+						kbits, s, addrs[s], want, h)
+				}
+			}
+		}
+	}
+}
+
+func TestStridesIntoShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer accepted")
+		}
+	}()
+	var k Key
+	k.StridesInto(4, make([]int, NumStrides(4)-1))
+}
+
+func TestStridesIntoZeroAlloc(t *testing.T) {
+	key := Header{SIP: 0xc0a80101, DIP: 0x0a000001, SP: 1234, DP: 80, Proto: 6}.Key()
+	addrs := make([]int, NumStrides(3))
+	if allocs := testing.AllocsPerRun(100, func() {
+		key.StridesInto(3, addrs)
+	}); allocs != 0 {
+		t.Fatalf("StridesInto allocates %.1f per run", allocs)
+	}
+}

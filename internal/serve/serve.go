@@ -48,6 +48,12 @@ var (
 	ErrQueueFull = errors.New("serve: submission queue full")
 	// ErrClosed reports a submission after Close began.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrRolledBack tags swap failures where a well-formed update reached
+	// the shadow build/verify stage and was rejected there — the previous
+	// engine kept serving. errors.Is(err, ErrRolledBack) distinguishes this
+	// legitimate-outcome rollback from op-validation errors, which never
+	// start a swap attempt.
+	ErrRolledBack = errors.New("serve: swap rolled back")
 )
 
 // Config parameterizes a Service.
@@ -98,14 +104,18 @@ func (p *Pending) Wait(ctx context.Context) ([]int, error) {
 }
 
 // Counters is a point-in-time snapshot of the service's traffic and swap
-// statistics.
+// statistics. Each counter records exactly one outcome: backpressure
+// (Rejected), lifecycle (ClosedSubmits), malformed updates (InvalidOps)
+// and shadow-stage rollbacks (FailedSwaps) are all distinct.
 type Counters struct {
 	Classified      int64 // packets classified
 	Batches         int64 // batches completed
-	Rejected        int64 // batches refused with ErrQueueFull
+	Rejected        int64 // batches refused with ErrQueueFull (backpressure only)
+	ClosedSubmits   int64 // batches refused with ErrClosed (lifecycle, not backpressure)
 	QueueHighWater  int64 // max batches queued at once
 	Swaps           int64 // engine hot-swaps committed
-	FailedSwaps     int64 // swaps rolled back (build or verify failure)
+	FailedSwaps     int64 // swaps rolled back by shadow build or verify failure
+	InvalidOps      int64 // update requests rejected before any build/verify was attempted
 	SwapLatencyMean time.Duration
 	SwapLatencyMax  time.Duration
 }
@@ -116,9 +126,11 @@ func (c Counters) Table() *metrics.Table {
 	t.AddRow("packets classified", fmt.Sprint(c.Classified))
 	t.AddRow("batches", fmt.Sprint(c.Batches))
 	t.AddRow("batches rejected", fmt.Sprint(c.Rejected))
+	t.AddRow("submits after close", fmt.Sprint(c.ClosedSubmits))
 	t.AddRow("queue high-water", fmt.Sprint(c.QueueHighWater))
 	t.AddRow("swaps", fmt.Sprint(c.Swaps))
 	t.AddRow("failed swaps", fmt.Sprint(c.FailedSwaps))
+	t.AddRow("invalid update ops", fmt.Sprint(c.InvalidOps))
 	t.AddRow("swap latency mean", c.SwapLatencyMean.String())
 	t.AddRow("swap latency max", c.SwapLatencyMax.String())
 	return t
@@ -149,13 +161,15 @@ type Service struct {
 	queued    atomic.Int64
 	wg        sync.WaitGroup
 
-	classified  metrics.Counter
-	batches     metrics.Counter
-	rejected    metrics.Counter
-	depth       metrics.Gauge
-	swaps       metrics.Counter
-	failedSwaps metrics.Counter
-	swapLatency metrics.LatencyCounter
+	classified    metrics.Counter
+	batches       metrics.Counter
+	rejected      metrics.Counter
+	closedSubmits metrics.Counter
+	depth         metrics.Gauge
+	swaps         metrics.Counter
+	failedSwaps   metrics.Counter
+	invalidOps    metrics.Counter
+	swapLatency   metrics.LatencyCounter
 }
 
 // New builds the initial engine from the ruleset and starts the worker
@@ -180,9 +194,19 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		shards:   make([]chan *Pending, cfg.Workers),
 	}
 	s.engine.Store(&eng)
-	perShard := (cfg.QueueDepth + cfg.Workers - 1) / cfg.Workers
+	// Distribute QueueDepth across the shards so the total buffered
+	// capacity equals QueueDepth exactly: per-shard ceil rounding would
+	// exceed the documented bound whenever the depth doesn't divide evenly
+	// (Workers=8, QueueDepth=10 used to buffer 16). The first
+	// QueueDepth%Workers shards take the remainder; a zero-capacity shard
+	// still accepts work by direct handoff to its idle worker.
+	base, rem := cfg.QueueDepth/cfg.Workers, cfg.QueueDepth%cfg.Workers
 	for i := range s.shards {
-		s.shards[i] = make(chan *Pending, perShard)
+		depth := base
+		if i < rem {
+			depth++
+		}
+		s.shards[i] = make(chan *Pending, depth)
 		s.wg.Add(1)
 		go s.worker(s.shards[i])
 	}
@@ -196,10 +220,11 @@ func (s *Service) worker(shard chan *Pending) {
 	// them.
 	for p := range shard {
 		s.depth.Set(s.queued.Add(-1))
+		// One engine load per batch keeps the batch on a single engine
+		// version; the native batch path classifies the whole batch with
+		// no per-packet dispatch or allocation.
 		eng := *s.engine.Load()
-		for i, h := range p.hdrs {
-			p.results[i] = eng.Classify(h)
-		}
+		core.ClassifyBatchInto(eng, p.hdrs, p.results)
 		s.classified.Add(int64(len(p.hdrs)))
 		s.batches.Inc()
 		close(p.done)
@@ -222,7 +247,9 @@ func (s *Service) Submit(hdrs []packet.Header) (*Pending, error) {
 	s.lifecycle.RLock()
 	defer s.lifecycle.RUnlock()
 	if s.closed {
-		s.rejected.Inc()
+		// Lifecycle, not backpressure: a submit after Close must not look
+		// like queue pressure in the stats.
+		s.closedSubmits.Inc()
 		return nil, ErrClosed
 	}
 	// Round-robin across shards, falling through to any shard with room
@@ -271,7 +298,9 @@ func (s *Service) ApplyOps(ops []update.Op) error {
 	defer s.mu.Unlock()
 	next, err := update.ApplyToRuleSet(s.rs, ops)
 	if err != nil {
-		s.failedSwaps.Inc()
+		// Op validation failed before any build or verify was attempted:
+		// nothing was swapped, so nothing rolled back.
+		s.invalidOps.Inc()
 		return err
 	}
 	return s.swapLocked(next)
@@ -281,7 +310,7 @@ func (s *Service) ApplyOps(ops []update.Op) error {
 // path as ApplyOps.
 func (s *Service) Reload(rs *ruleset.RuleSet) error {
 	if rs == nil || rs.Len() == 0 {
-		s.failedSwaps.Inc()
+		s.invalidOps.Inc()
 		return fmt.Errorf("serve: reload with empty ruleset")
 	}
 	s.mu.Lock()
@@ -296,7 +325,7 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 	shadow, err := s.build(next)
 	if err != nil {
 		s.failedSwaps.Inc()
-		return fmt.Errorf("serve: shadow build failed, swap rolled back: %w", err)
+		return fmt.Errorf("serve: shadow build failed, %w: %w", ErrRolledBack, err)
 	}
 	if s.cfg.VerifyPackets > 0 {
 		s.swapSeed++
@@ -305,7 +334,7 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 		})
 		if m := core.VerifyClassify(core.NewLinear(next), shadow, trace); m != nil {
 			s.failedSwaps.Inc()
-			return fmt.Errorf("serve: shadow verify failed, swap rolled back: %s", m)
+			return fmt.Errorf("serve: shadow verify failed, %w: %s", ErrRolledBack, m)
 		}
 	}
 	s.rs = next
@@ -321,9 +350,11 @@ func (s *Service) Counters() Counters {
 		Classified:      s.classified.Value(),
 		Batches:         s.batches.Value(),
 		Rejected:        s.rejected.Value(),
+		ClosedSubmits:   s.closedSubmits.Value(),
 		QueueHighWater:  s.depth.Max(),
 		Swaps:           s.swaps.Value(),
 		FailedSwaps:     s.failedSwaps.Value(),
+		InvalidOps:      s.invalidOps.Value(),
 		SwapLatencyMean: s.swapLatency.Mean(),
 		SwapLatencyMax:  s.swapLatency.Max(),
 	}

@@ -287,6 +287,9 @@ func TestFailedVerifySwapRollsBack(t *testing.T) {
 	if swapErr == nil {
 		t.Fatal("broken shadow engine was swapped in")
 	}
+	if !errors.Is(swapErr, ErrRolledBack) {
+		t.Fatalf("verify failure not tagged ErrRolledBack: %v", swapErr)
+	}
 	if svc.Engine() != before {
 		t.Fatal("engine changed despite failed verification")
 	}
@@ -306,6 +309,10 @@ func TestFailedVerifySwapRollsBack(t *testing.T) {
 	if c.FailedSwaps != 1 || c.Swaps != 0 {
 		t.Fatalf("counters = %+v, want 1 failed swap and 0 swaps", c)
 	}
+	// A verify rollback is a rollback, not a malformed request.
+	if c.InvalidOps != 0 {
+		t.Fatalf("invalid ops = %d, want 0", c.InvalidOps)
+	}
 }
 
 func TestFailedBuildSwapRollsBack(t *testing.T) {
@@ -323,11 +330,46 @@ func TestFailedBuildSwapRollsBack(t *testing.T) {
 	}
 	defer mustClose(t, svc)
 	before := svc.Engine()
-	if err := svc.Reload(prefixSet(t, 16, 15)); err == nil {
+	err = svc.Reload(prefixSet(t, 16, 15))
+	if err == nil {
 		t.Fatal("failed build swapped in")
+	}
+	if !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("build failure not tagged ErrRolledBack: %v", err)
 	}
 	if svc.Engine() != before {
 		t.Fatal("engine changed despite failed build")
+	}
+	c := svc.Counters()
+	if c.FailedSwaps != 1 || c.Swaps != 0 || c.InvalidOps != 0 {
+		t.Fatalf("counters = %+v, want exactly 1 failed swap", c)
+	}
+}
+
+// Op-validation failures never reach the shadow build, so they must land in
+// InvalidOps, not FailedSwaps — the distinction that keeps "the updater sent
+// garbage" separate from "a well-formed update was rolled back".
+func TestInvalidOpsAreNotFailedSwaps(t *testing.T) {
+	rs := prefixSet(t, 16, 24)
+	svc, err := New(rs.Clone(), linearBuild, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	if err := svc.ApplyOps([]update.Op{{Index: rs.Len() + 5}}); err == nil {
+		t.Fatal("out-of-range op accepted")
+	} else if errors.Is(err, ErrRolledBack) {
+		t.Fatalf("op-validation error tagged as rollback: %v", err)
+	}
+	if err := svc.Reload(nil); err == nil {
+		t.Fatal("nil reload accepted")
+	}
+	c := svc.Counters()
+	if c.InvalidOps != 2 {
+		t.Fatalf("invalid ops = %d, want 2", c.InvalidOps)
+	}
+	if c.FailedSwaps != 0 {
+		t.Fatalf("failed swaps = %d, want 0 (no build/verify was attempted)", c.FailedSwaps)
 	}
 }
 
@@ -409,6 +451,9 @@ func TestBackpressureRejectsWhenFull(t *testing.T) {
 	if got := svc.Counters().Rejected; got != 1 {
 		t.Fatalf("rejected = %d, want 1", got)
 	}
+	if got := svc.Counters().ClosedSubmits; got != 0 {
+		t.Fatalf("closed submits = %d, want 0 (service is open)", got)
+	}
 	close(release)
 	for _, p := range pending {
 		if _, err := p.Wait(context.Background()); err != nil {
@@ -419,6 +464,66 @@ func TestBackpressureRejectsWhenFull(t *testing.T) {
 	if got := svc.Counters().QueueHighWater; got < 2 {
 		t.Fatalf("queue high-water = %d, want >= 2", got)
 	}
+}
+
+// TestQueueDepthIsExactBound pins the documented capacity contract:
+// QueueDepth bounds the TOTAL buffered batches across all shards. With
+// Workers=8 and QueueDepth=10 the old per-shard ceil rounding allocated
+// 8×2=16 slots; the remainder must instead be spread so exactly 10 batches
+// buffer beyond the ones workers are already draining.
+func TestQueueDepthIsExactBound(t *testing.T) {
+	const workers, queueDepth = 8, 10
+	rs := prefixSet(t, 8, 25)
+	entered := make(chan struct{}, workers)
+	release := make(chan struct{})
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		return blockingEngine{core.NewLinear(rs), entered, release}, nil
+	}
+	svc, err := New(rs, build, Config{Workers: workers, QueueDepth: queueDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []packet.Header{{Proto: 6}}
+	// Park every worker on a batch; those batches are dequeued, so they
+	// don't occupy queue capacity.
+	var pending []*Pending
+	for i := 0; i < workers; i++ {
+		p, err := svc.Submit(h)
+		if err != nil {
+			t.Fatalf("submit %d while workers free: %v", i, err)
+		}
+		pending = append(pending, p)
+	}
+	for i := 0; i < workers; i++ {
+		<-entered
+	}
+	// Now every accepted submission buffers in a shard: exactly QueueDepth
+	// must fit before backpressure.
+	accepted := 0
+	for {
+		p, err := svc.Submit(h)
+		if err == ErrQueueFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+		accepted++
+		if accepted > queueDepth {
+			break
+		}
+	}
+	if accepted != queueDepth {
+		t.Fatalf("buffered %d batches beyond in-flight, want exactly %d", accepted, queueDepth)
+	}
+	close(release)
+	for _, p := range pending {
+		if _, err := p.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustClose(t, svc)
 }
 
 func TestCloseDrainsInFlightAndRejectsAfter(t *testing.T) {
@@ -449,6 +554,11 @@ func TestCloseDrainsInFlightAndRejectsAfter(t *testing.T) {
 	}
 	if _, err := svc.Submit(h); err != ErrClosed {
 		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+	// Lifecycle rejection, not backpressure: the counters must not conflate
+	// a closed service with a full queue.
+	if c := svc.Counters(); c.ClosedSubmits != 1 || c.Rejected != 0 {
+		t.Fatalf("counters = %+v, want 1 closed submit and 0 rejected", c)
 	}
 	// Releasing the engine lets the graceful drain finish: every batch
 	// submitted before Close still completes.

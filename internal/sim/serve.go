@@ -9,6 +9,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,11 @@ type ServeResult struct {
 	// Resubmits counts batches that hit backpressure and were retried
 	// after draining an in-flight batch.
 	Resubmits int64
+	// Rollbacks counts churn swaps the service rejected at the shadow
+	// build/verify stage. A rollback is a legitimate outcome under churn —
+	// the service kept serving the previous engine — so the experiment
+	// keeps churning and reports the count instead of aborting.
+	Rollbacks int64
 	// Counters is the service's own accounting (swap count and latency,
 	// queue high-water mark, rejections).
 	Counters serve.Counters
@@ -104,6 +110,7 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 
 	var (
 		replayDone atomic.Bool
+		rollbacks  atomic.Int64
 		updaterErr error
 		updaterWG  sync.WaitGroup
 	)
@@ -116,6 +123,10 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 				if replayDone.Load() {
 					return
 				}
+				// Op generation failing is a harness error and aborts the
+				// experiment; a swap the service rolled back at the shadow
+				// build/verify stage is a measured outcome — count it and
+				// keep churning.
 				ops, err := update.GenerateOps(svc.RuleSet(), cfg.OpsPerSwap, seed)
 				if err != nil {
 					updaterErr = err
@@ -123,6 +134,10 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 				}
 				seed++
 				if err := svc.ApplyOps(ops); err != nil {
+					if errors.Is(err, serve.ErrRolledBack) {
+						rollbacks.Add(1)
+						continue
+					}
 					updaterErr = err
 					return
 				}
@@ -194,6 +209,7 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 		Elapsed:               elapsed,
 		BaselinePacketsPerSec: baseline.PacketsPerSec,
 		Resubmits:             resubmits,
+		Rollbacks:             rollbacks.Load(),
 		Counters:              svc.Counters(),
 	}
 	if elapsed > 0 {

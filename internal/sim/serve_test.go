@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"sync/atomic"
 	"testing"
 
 	"pktclass/internal/core"
@@ -62,6 +64,45 @@ func TestServeTraceUnderChurn(t *testing.T) {
 	for i := range rs.Rules {
 		if rs.Rules[i] != check.Rules[i] {
 			t.Fatalf("caller ruleset mutated at rule %d", i)
+		}
+	}
+}
+
+// A shadow build failing mid-replay used to abort the whole experiment.
+// Rollbacks are a measured outcome: the harness must keep churning, keep
+// serving the previous engine, and report the count.
+func TestServeTraceChurnToleratesRollbacks(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 34, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 8000, MatchFraction: 0.8, Seed: 35})
+	// Builds 1 (churn-free baseline) and 2 (the service's initial engine)
+	// succeed; every shadow build the updater triggers after that fails, so
+	// each swap attempt rolls back.
+	var builds atomic.Int64
+	failingBuild := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		if builds.Add(1) > 2 {
+			return nil, errors.New("injected shadow build failure")
+		}
+		return serveBuild(rs)
+	}
+	const swaps = 4
+	res, err := ServeTrace(rs, failingBuild, trace, ServeConfig{
+		Workers: 2, BatchSize: 64, Churn: true, Swaps: swaps,
+		VerifyPackets: 16, Seed: 36,
+	})
+	if err != nil {
+		t.Fatalf("rollback aborted the experiment: %v", err)
+	}
+	if res.Rollbacks != swaps {
+		t.Fatalf("rollbacks = %d, want %d", res.Rollbacks, swaps)
+	}
+	if c := res.Counters; c.FailedSwaps != swaps || c.Swaps != 0 {
+		t.Fatalf("counters = %+v, want %d failed swaps and 0 landed", c, swaps)
+	}
+	// No swap ever landed, so every packet classifies against the original
+	// ruleset.
+	for i, h := range trace {
+		if want := rs.FirstMatch(h); res.Results[i] != want {
+			t.Fatalf("packet %d: got %d want %d", i, res.Results[i], want)
 		}
 	}
 }

@@ -27,9 +27,12 @@ type BatchResult struct {
 }
 
 // ClassifyBatch classifies the trace with the engine, fanning the work out
-// over workers goroutines (0 selects GOMAXPROCS). The engine's Classify
-// must be safe for concurrent use; every engine in this repository is,
-// because classification only reads the built structures.
+// over workers goroutines (0 selects GOMAXPROCS). Each worker drives its
+// whole chunk through the engine's native batch path when it has one
+// (core.BatchClassifier), so the per-packet cost is the algorithm, not
+// interface dispatch or allocator traffic. The engine's Classify must be
+// safe for concurrent use; every engine in this repository is, because
+// classification only reads the built structures.
 func ClassifyBatch(eng core.Engine, trace []packet.Header, workers int) BatchResult {
 	if len(trace) == 0 {
 		// No work: report zero packets over zero workers rather than
@@ -58,9 +61,7 @@ func ClassifyBatch(eng core.Engine, trace []packet.Header, workers int) BatchRes
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				results[i] = eng.Classify(trace[i])
-			}
+			core.ClassifyBatchInto(eng, trace[lo:hi], results[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -46,6 +46,12 @@ type Pipeline struct {
 	cycle int64
 	inFlt int
 	done  int64
+	// free recycles partial-result vectors: a vector is taken at admission,
+	// travels with its packet through the stage registers, and returns to
+	// the list once the priority encoder has consumed it. At most
+	// stages×Ports vectors are ever in flight, so after warm-up admission
+	// allocates nothing.
+	free []bitvec.Vector
 }
 
 // NewPipeline wraps an engine in its cycle-accurate pipeline.
@@ -53,11 +59,23 @@ func NewPipeline(e *Engine) *Pipeline {
 	p := &Pipeline{
 		eng:  e,
 		regs: make([][Ports]flight, e.stages),
+		free: make([]bitvec.Vector, 0, (e.stages+1)*Ports),
 	}
 	for i := range p.pes {
 		p.pes[i] = penc.NewPipelined(e.ne)
 	}
 	return p
+}
+
+// allocBV takes a recycled partial-result vector, or a fresh one while the
+// free list is still warming up.
+func (p *Pipeline) allocBV() bitvec.Vector {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		return v
+	}
+	return bitvec.New(p.eng.ne)
 }
 
 // Latency returns the cycles from packet entry to result exit:
@@ -89,12 +107,18 @@ func (p *Pipeline) Step(in []Input) []Output {
 	for port := 0; port < Ports; port++ {
 		var pushed *bitvec.Vector
 		var token any
-		if f := p.regs[last][port]; f.live {
-			v := f.bv
-			pushed, token = &v, f.token
+		f := p.regs[last][port]
+		if f.live {
+			pushed, token = &f.bv, f.token
 			p.inFlt--
 		}
-		if r := stepPE(p.pes[port], pushed, token); r != nil {
+		r := stepPE(p.pes[port], pushed, token)
+		if f.live {
+			// The encoder reads the vector into its first reduction level
+			// synchronously, so it can be recycled as soon as Step returns.
+			p.free = append(p.free, f.bv)
+		}
+		if r != nil {
 			out = append(out, *r)
 			p.done++
 		}
@@ -111,11 +135,13 @@ func (p *Pipeline) Step(in []Input) []Output {
 		}
 	}
 	// Stage 0: admit new packets. BVP starts as all-ones ANDed with the
-	// stage-0 memory word, i.e. just a copy of the addressed vector.
+	// stage-0 memory word, i.e. just a copy of the addressed vector —
+	// written into a recycled vector rather than a per-packet clone.
 	for port := 0; port < Ports; port++ {
 		p.regs[0][port] = flight{}
 		if port < len(in) {
-			v := p.eng.mem[0][in[port].Key.Stride(0, p.eng.k)].Clone()
+			v := p.allocBV()
+			v.CopyFrom(p.eng.mem[0][in[port].Key.Stride(0, p.eng.k)])
 			p.regs[0][port] = flight{key: in[port].Key, bv: v, token: in[port].Token, live: true}
 			p.inFlt++
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stridebv
+
+const raceEnabled = false

@@ -2,6 +2,7 @@ package stridebv
 
 import (
 	"fmt"
+	"sync"
 
 	"pktclass/internal/bitvec"
 	"pktclass/internal/packet"
@@ -28,6 +29,16 @@ type RangeEngine struct {
 	spHi   []uint16
 	dpLo   []uint16
 	dpHi   []uint16
+	// scratch recycles lookup workspaces (see Engine.scratch); it keeps the
+	// Classify/ClassifyBatch fast path allocation-free.
+	scratch sync.Pool
+}
+
+func (e *RangeEngine) getScratch() *scratchState {
+	if sc, ok := e.scratch.Get().(*scratchState); ok {
+		return sc
+	}
+	return &scratchState{acc: bitvec.New(e.n), addrs: make([]int, e.stages)}
 }
 
 // prefixBits is the width of the stride-searchable portion (SIP+DIP+proto).
@@ -147,6 +158,30 @@ func strideOf(key [9]byte, off, k, w int) int {
 	return v
 }
 
+// prefixStridesInto fills dst with every stage's stride address for a
+// 72-bit prefix key, loading the key into two machine words once instead of
+// re-extracting bits per stage (the RangeEngine analogue of
+// packet.Key.StridesInto).
+func prefixStridesInto(key [9]byte, k int, dst []int) {
+	hi := uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 | uint64(key[3])<<32 |
+		uint64(key[4])<<24 | uint64(key[5])<<16 | uint64(key[6])<<8 | uint64(key[7])
+	lo := uint64(key[8]) << 56
+	mask := uint64(1)<<uint(k) - 1
+	for s, off := 0, 0; s < len(dst); s, off = s+1, off+k {
+		end := off + k
+		var v uint64
+		switch {
+		case end <= 64:
+			v = hi >> uint(64-end)
+		case off >= 64:
+			v = lo >> uint(128-end)
+		default:
+			v = hi<<uint(end-64) | lo>>uint(128-end)
+		}
+		dst[s] = int(v & mask)
+	}
+}
+
 // Name identifies the engine.
 func (e *RangeEngine) Name() string { return fmt.Sprintf("stridebv-range-k%d", e.k) }
 
@@ -163,12 +198,23 @@ func (e *RangeEngine) MemoryBits() int {
 	return e.stages*(1<<uint(e.k))*e.n + 4*16*e.n
 }
 
-// MatchVector computes the final multi-match vector for a header.
+// MatchVector computes the final multi-match vector for a header. The
+// returned vector is freshly allocated and owned by the caller.
 func (e *RangeEngine) MatchVector(h packet.Header) bitvec.Vector {
+	sc := e.getScratch()
+	v := e.matchInto(h, sc).Clone()
+	e.scratch.Put(sc)
+	return v
+}
+
+// matchInto computes the match vector into sc.acc and returns it.
+func (e *RangeEngine) matchInto(h packet.Header, sc *scratchState) bitvec.Vector {
 	key := prefixKey(h)
-	acc := e.mem[0][strideOf(key, 0, e.k, prefixBits)].Clone()
+	prefixStridesInto(key, e.k, sc.addrs)
+	acc := sc.acc
+	acc.CopyFrom(e.mem[0][sc.addrs[0]])
 	for s := 1; s < e.stages; s++ {
-		acc.AndWith(e.mem[s][strideOf(key, s*e.k, e.k, prefixBits)])
+		acc.AndWith(e.mem[s][sc.addrs[s]])
 	}
 	// Range modules: N parallel comparators per port field.
 	for j := 0; j < e.n; j++ {
@@ -183,12 +229,29 @@ func (e *RangeEngine) MatchVector(h packet.Header) bitvec.Vector {
 
 // Classify returns the highest-priority matching rule index, or -1.
 func (e *RangeEngine) Classify(h packet.Header) int {
-	return e.MatchVector(h).FirstSet()
+	sc := e.getScratch()
+	r := e.matchInto(h, sc).FirstSet()
+	e.scratch.Put(sc)
+	return r
+}
+
+// ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
+// path), reusing one scratch workspace for the whole batch. Safe for
+// concurrent use.
+func (e *RangeEngine) ClassifyBatch(hdrs []packet.Header, out []int) {
+	sc := e.getScratch()
+	for i, h := range hdrs {
+		out[i] = e.matchInto(h, sc).FirstSet()
+	}
+	e.scratch.Put(sc)
 }
 
 // MultiMatch returns all matching rule indices in priority order.
 func (e *RangeEngine) MultiMatch(h packet.Header) []int {
-	return e.MatchVector(h).SetBits()
+	sc := e.getScratch()
+	r := e.matchInto(h, sc).SetBits()
+	e.scratch.Put(sc)
+	return r
 }
 
 // String summarises the configuration.

@@ -19,6 +19,7 @@ package stridebv
 
 import (
 	"fmt"
+	"sync"
 
 	"pktclass/internal/bitvec"
 	"pktclass/internal/packet"
@@ -34,6 +35,19 @@ type Engine struct {
 	ne     int
 	// mem[s][c] is the Ne-bit vector for stride value c at stage s.
 	mem [][]bitvec.Vector
+	// ownsEntries is set once the engine has copied ex away from the
+	// caller's Expanded (copy-on-first-update; see UpdateEntry).
+	ownsEntries bool
+	// scratch recycles per-goroutine lookup state (partial-result vector
+	// plus precomputed stage addresses) so the classification fast path
+	// allocates nothing in steady state.
+	scratch sync.Pool
+}
+
+// scratchState is one goroutine's reusable lookup workspace.
+type scratchState struct {
+	acc   bitvec.Vector
+	addrs []int
 }
 
 // MinStride and MaxStride bound supported stride lengths. The paper uses 3
@@ -70,6 +84,17 @@ func New(ex *ruleset.Expanded, k int) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// getScratch returns a recycled (or, on first use per goroutine, fresh)
+// lookup workspace sized for this engine.
+func (e *Engine) getScratch() *scratchState {
+	if sc, ok := e.scratch.Get().(*scratchState); ok {
+		return sc
+	}
+	return &scratchState{acc: bitvec.New(e.ne), addrs: make([]int, e.stages)}
+}
+
+func (e *Engine) putScratch(sc *scratchState) { e.scratch.Put(sc) }
 
 // NewFSBV builds the k=1 Field-Split Bit Vector engine.
 func NewFSBV(ex *ruleset.Expanded) (*Engine, error) { return New(ex, 1) }
@@ -124,39 +149,96 @@ func (e *Engine) NumEntries() int { return e.ne }
 func (e *Engine) MemoryBits() int { return e.stages * (1 << uint(e.k)) * e.ne }
 
 // MatchVector computes the final multi-match bit vector for a packed
-// header: the AND of every stage's addressed vector.
+// header: the AND of every stage's addressed vector. The returned vector is
+// freshly allocated and owned by the caller; the classification fast path
+// (Classify, ClassifyBatch) uses the recycled-scratch equivalent instead.
 func (e *Engine) MatchVector(key packet.Key) bitvec.Vector {
-	acc := e.mem[0][key.Stride(0, e.k)].Clone()
+	sc := e.getScratch()
+	v := e.matchInto(key, sc).Clone()
+	e.putScratch(sc)
+	return v
+}
+
+// matchInto computes the match vector into sc.acc and returns it. All stage
+// stride addresses are extracted once up front (two shifts per stage out of
+// a pair of machine words) rather than bit-by-bit per stage, and the stage-0
+// memory word is copied into the scratch accumulator instead of cloned — the
+// two changes that make the lookup loop allocation-free.
+func (e *Engine) matchInto(key packet.Key, sc *scratchState) bitvec.Vector {
+	key.StridesInto(e.k, sc.addrs)
+	acc := sc.acc
+	acc.CopyFrom(e.mem[0][sc.addrs[0]])
 	for s := 1; s < e.stages; s++ {
-		acc.AndWith(e.mem[s][key.Stride(s*e.k, e.k)])
+		acc.AndWith(e.mem[s][sc.addrs[s]])
 	}
 	return acc
 }
 
 // Classify returns the highest-priority matching rule index, or -1.
 func (e *Engine) Classify(h packet.Header) int {
-	entry := e.MatchVector(h.Key()).FirstSet()
+	sc := e.getScratch()
+	entry := e.matchInto(h.Key(), sc).FirstSet()
+	e.putScratch(sc)
 	if entry < 0 {
 		return -1
 	}
 	return e.ex.Parent[entry]
 }
 
+// ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
+// path): one scratch workspace serves the whole batch, so the steady-state
+// per-packet cost is the stage-memory ANDs and a first-set scan, with zero
+// allocations. Safe for concurrent use.
+func (e *Engine) ClassifyBatch(hdrs []packet.Header, out []int) {
+	sc := e.getScratch()
+	for i, h := range hdrs {
+		entry := e.matchInto(h.Key(), sc).FirstSet()
+		if entry < 0 {
+			out[i] = -1
+		} else {
+			out[i] = e.ex.Parent[entry]
+		}
+	}
+	e.putScratch(sc)
+}
+
 // MultiMatch returns every matching rule index in priority order.
 func (e *Engine) MultiMatch(h packet.Header) []int {
-	return e.ex.ParentRules(e.MatchVector(h.Key()).SetBits())
+	sc := e.getScratch()
+	rules := e.ex.ParentRules(e.matchInto(h.Key(), sc).SetBits())
+	e.putScratch(sc)
+	return rules
 }
 
 // UpdateEntry reprograms ternary entry j in place: one bit-slice write per
 // stage memory, the incremental-update property of the bit-vector approach
-// (no global rebuild required).
+// (no global rebuild required). The engine copies its entry table on the
+// first update, so the caller's Expanded — possibly shared with a reference
+// engine for differential verification — is never mutated; Expanded()
+// reflects the engine's own post-update view.
 func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
 	if j < 0 || j >= e.ne {
 		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
 	}
+	e.ensureOwnedEntries()
 	e.ex.Entries[j] = entry
 	e.writeEntry(j, entry)
 	return nil
+}
+
+// ensureOwnedEntries detaches the engine's entry table from the Expanded it
+// was built over (copy-on-first-update). Parent is never mutated and stays
+// shared.
+func (e *Engine) ensureOwnedEntries() {
+	if e.ownsEntries {
+		return
+	}
+	e.ex = &ruleset.Expanded{
+		Entries:  append([]ruleset.Ternary(nil), e.ex.Entries...),
+		Parent:   e.ex.Parent,
+		NumRules: e.ex.NumRules,
+	}
+	e.ownsEntries = true
 }
 
 // InvalidateEntry disables entry j: its bit is cleared in every stage
@@ -177,7 +259,9 @@ func (e *Engine) InvalidateEntry(j int) error {
 // hardware-model netlist builder.
 func (e *Engine) StageVector(s, c int) bitvec.Vector { return e.mem[s][c] }
 
-// Expanded returns the underlying expanded ruleset.
+// Expanded returns the engine's view of the expanded ruleset. Until the
+// first UpdateEntry this is the Expanded the engine was built over; after
+// it, the engine's private copy with updates applied.
 func (e *Engine) Expanded() *ruleset.Expanded { return e.ex }
 
 // String summarises the engine configuration.

@@ -39,6 +39,15 @@ func (t *Behavioral) Classify(h packet.Header) int {
 	return t.ex.FirstMatch(h.Key())
 }
 
+// ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
+// path): one pass over the batch with no per-packet interface dispatch or
+// allocation. Safe for concurrent use — a search only reads the entry table.
+func (t *Behavioral) ClassifyBatch(hdrs []packet.Header, out []int) {
+	for i, h := range hdrs {
+		out[i] = t.ex.FirstMatch(h.Key())
+	}
+}
+
 // MultiMatch returns all matching rule indices in priority order.
 func (t *Behavioral) MultiMatch(h packet.Header) []int {
 	k := h.Key()

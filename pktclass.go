@@ -46,6 +46,10 @@ type (
 	Action = ruleset.Action
 	// Engine is the classifier abstraction shared by all implementations.
 	Engine = core.Engine
+	// BatchClassifier is implemented by engines with a native
+	// zero-allocation batched classification path (StrideBV, RangeStrideBV,
+	// TCAM and the linear reference all do).
+	BatchClassifier = core.BatchClassifier
 	// StrideBV is the bit-vector pipeline engine (FSBV at stride 1).
 	StrideBV = stridebv.Engine
 	// TCAM is the behavioral ternary-CAM engine.
@@ -122,6 +126,15 @@ func NewRangeStrideBV(rs *RuleSet, stride int) (*stridebv.RangeEngine, error) {
 // ActionOf resolves a classification result to the rule's action
 // (default-deny on miss).
 func ActionOf(rs *RuleSet, rule int) Action { return core.Action(rs, rule) }
+
+// ClassifyBatch classifies hdrs into out (one rule index or -1 per header;
+// lengths must match), using the engine's native batch path when it has one
+// and a per-packet loop otherwise. For the batch-capable engines the steady
+// state allocates nothing, so sustained packets/sec measures the algorithm
+// rather than the allocator.
+func ClassifyBatch(eng Engine, hdrs []Header, out []int) {
+	core.ClassifyBatchInto(eng, hdrs, out)
+}
 
 // Verification and comparison.
 
