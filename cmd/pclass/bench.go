@@ -1,7 +1,9 @@
 // The bench subcommand: measure the software classification rate of each
 // engine's batched fast path over synthetic rulesets at the paper's sizes,
-// and optionally emit a BENCH_*.json snapshot so successive revisions can
-// track pkts/sec, ns/pkt and allocs/pkt over time.
+// optionally fronted by the exact-match flow cache under uniform or Zipf
+// flow-burst traffic, and optionally emit a BENCH_*.json snapshot so
+// successive revisions can track pkts/sec, ns/pkt and allocs/pkt over
+// time. -compare diffs two snapshots per configuration.
 package main
 
 import (
@@ -10,7 +12,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,26 +22,43 @@ import (
 
 	"pktclass/internal/cli"
 	"pktclass/internal/core"
+	"pktclass/internal/flowcache"
+	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 )
 
-// benchResult is one (engine, stride, ruleset size) measurement.
+// benchResult is one (engine, stride, ruleset size, cache, skew)
+// measurement.
 type benchResult struct {
 	Engine       string  `json:"engine"`
 	Rules        int     `json:"rules"`
 	Stride       int     `json:"stride,omitempty"`
 	BatchSize    int     `json:"batch_size"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	Skew         string  `json:"skew,omitempty"`
+	HitRate      float64 `json:"hit_rate,omitempty"`
 	NsPerPkt     float64 `json:"ns_per_pkt"`
 	PktsPerSec   float64 `json:"pkts_per_sec"`
 	AllocsPerPkt float64 `json:"allocs_per_pkt"`
 }
 
-// benchSnapshot is the BENCH_*.json document.
+// key identifies a configuration across snapshots for -compare.
+func (r benchResult) key() string {
+	return fmt.Sprintf("%s k=%d N=%d batch=%d cache=%d skew=%s",
+		r.Engine, r.Stride, r.Rules, r.BatchSize, r.CacheEntries, r.Skew)
+}
+
+// benchSnapshot is the BENCH_*.json document. The environment header
+// (CPU, GOMAXPROCS, commit) makes snapshots from different machines and
+// revisions comparable as a trajectory rather than bare numbers.
 type benchSnapshot struct {
-	Date    string        `json:"date"`
-	Go      string        `json:"go"`
-	Profile string        `json:"profile"`
-	Results []benchResult `json:"results"`
+	Date       string        `json:"date"`
+	Go         string        `json:"go"`
+	CPU        string        `json:"cpu,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Commit     string        `json:"commit,omitempty"`
+	Profile    string        `json:"profile"`
+	Results    []benchResult `json:"results"`
 }
 
 func runBench(args []string) {
@@ -48,11 +69,25 @@ func runBench(args []string) {
 		strides  = fs.String("strides", "3,4", "comma-separated strides for stridebv/rangebv")
 		packets  = fs.Int("packets", 1024, "packets per classified batch")
 		profile  = fs.String("profile", "prefix-only", "ruleset profile: firewall | feature-free | prefix-only")
+		cacheN   = fs.Int("cache", 0, "flow-cache capacity in entries fronting each engine (0 = uncached)")
+		skew     = fs.String("skew", "uniform", "traffic skew: uniform | zipf:S (e.g. zipf:1.2)")
+		flows    = fs.Int("flows", 256, "flow population size for zipf traffic")
+		burst    = fs.Float64("burst", 4, "mean flow-burst length for zipf traffic")
 		jsonOut  = fs.Bool("json", false, "emit the snapshot as JSON on stdout")
 		outPath  = fs.String("out", "", "write the JSON snapshot to this file (implies -json)")
+		compare  = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of benchmarking")
 		seedFlag = fs.Int64("seed", 1, "deterministic seed for rulesets and traces")
 	)
 	fs.Parse(args)
+	if *compare {
+		if fs.NArg() != 2 {
+			log.Fatal("pclass bench -compare needs exactly two snapshot files: old.json new.json")
+		}
+		if err := compareSnapshots(fs.Arg(0), fs.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	ns, err := parseInts(*sizes)
 	if err != nil {
 		log.Fatalf("-sizes: %v", err)
@@ -61,11 +96,22 @@ func runBench(args []string) {
 	if err != nil {
 		log.Fatalf("-strides: %v", err)
 	}
+	zipfS, err := parseSkew(*skew)
+	if err != nil {
+		log.Fatalf("-skew: %v", err)
+	}
 
 	snap := benchSnapshot{
-		Date:    time.Now().UTC().Format("2006-01-02"),
-		Go:      runtime.Version(),
-		Profile: *profile,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		CPU:        cpuModel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+		Profile:    *profile,
+	}
+	cfg := benchConfig{
+		packets: *packets, profile: *profile, cache: *cacheN,
+		skew: *skew, zipfS: zipfS, flows: *flows, burst: *burst, seed: *seedFlag,
 	}
 	for _, name := range strings.Split(*engines, ",") {
 		name = strings.TrimSpace(name)
@@ -80,7 +126,7 @@ func runBench(args []string) {
 		}
 		for _, k := range engKs {
 			for _, n := range ns {
-				r, err := benchOne(name, k, n, *packets, *profile, *seedFlag)
+				r, err := benchOne(name, k, n, cfg)
 				if err != nil {
 					log.Fatalf("%s N=%d: %v", name, n, err)
 				}
@@ -109,18 +155,30 @@ func runBench(args []string) {
 	}
 }
 
+type benchConfig struct {
+	packets int
+	profile string
+	cache   int
+	skew    string
+	zipfS   float64 // < 0 means uniform
+	flows   int
+	burst   float64
+	seed    int64
+}
+
 // benchOne measures one engine configuration with the testing package's
 // adaptive benchmark loop: each op classifies a whole batch through the
-// engine's native ClassifyBatch path (or the generic fallback).
-func benchOne(name string, stride, rules, packets int, profile string, seed int64) (benchResult, error) {
+// engine's native ClassifyBatch path (or the generic fallback), with the
+// flow cache in front when -cache is set.
+func benchOne(name string, stride, rules int, cfg benchConfig) (benchResult, error) {
 	p := ruleset.FirewallProfile
-	switch profile {
+	switch cfg.profile {
 	case "feature-free":
 		p = ruleset.FeatureFree
 	case "prefix-only":
 		p = ruleset.PrefixOnly
 	}
-	rs := ruleset.Generate(ruleset.GenConfig{N: rules, Profile: p, Seed: seed, DefaultRule: true})
+	rs := ruleset.Generate(ruleset.GenConfig{N: rules, Profile: p, Seed: cfg.seed, DefaultRule: true})
 	buildStride := stride
 	if buildStride == 0 {
 		buildStride = 4
@@ -129,11 +187,31 @@ func benchOne(name string, stride, rules, packets int, profile string, seed int6
 	if err != nil {
 		return benchResult{}, err
 	}
-	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{
-		Count: packets, MatchFraction: 0.9, Locality: 0.3, Seed: seed + 1,
-	})
+	var trace []packet.Header
+	if cfg.zipfS >= 0 {
+		pop := ruleset.FlowHeaders(rs, cfg.flows, 0.9, cfg.seed+1)
+		trace, err = packet.ZipfTrace(pop, packet.ZipfTraceConfig{
+			Count: cfg.packets, S: cfg.zipfS, MeanBurst: cfg.burst, Seed: cfg.seed + 2,
+		})
+		if err != nil {
+			return benchResult{}, err
+		}
+	} else {
+		trace = ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+			Count: cfg.packets, MatchFraction: 0.9, Locality: 0.3, Seed: cfg.seed + 1,
+		})
+	}
+	var cache *flowcache.Cache
+	if cfg.cache > 0 {
+		cache = flowcache.New(flowcache.Config{Entries: cfg.cache})
+		eng = core.NewCached(eng, cache)
+	}
 	out := make([]int, len(trace))
-	core.ClassifyBatchInto(eng, trace, out) // warm any scratch pools
+	core.ClassifyBatchInto(eng, trace, out) // warm scratch pools and the cache
+	warm := flowcache.Stats{}
+	if cache != nil {
+		warm = cache.Stats()
+	}
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -145,9 +223,20 @@ func benchOne(name string, stride, rules, packets int, profile string, seed int6
 		Engine:       name,
 		Rules:        rules,
 		Stride:       stride,
-		BatchSize:    packets,
+		BatchSize:    cfg.packets,
+		CacheEntries: cfg.cache,
 		NsPerPkt:     nsPerPkt,
 		AllocsPerPkt: float64(br.AllocsPerOp()) / float64(len(trace)),
+	}
+	if cfg.zipfS >= 0 || cfg.cache > 0 {
+		r.Skew = cfg.skew
+	}
+	if cache != nil {
+		// Steady-state hit rate: the warm-up pass absorbs the cold misses.
+		st := cache.Stats()
+		if lookups := (st.Hits - warm.Hits) + (st.Misses - warm.Misses); lookups > 0 {
+			r.HitRate = float64(st.Hits-warm.Hits) / float64(lookups)
+		}
 	}
 	if nsPerPkt > 0 {
 		r.PktsPerSec = 1e9 / nsPerPkt
@@ -155,13 +244,130 @@ func benchOne(name string, stride, rules, packets int, profile string, seed int6
 	return r, nil
 }
 
+// parseSkew maps the -skew flag to a Zipf exponent; a negative return
+// selects the uniform directed-trace generator.
+func parseSkew(s string) (float64, error) {
+	if s == "" || s == "uniform" {
+		return -1, nil
+	}
+	rest, ok := strings.CutPrefix(s, "zipf:")
+	if !ok {
+		return 0, fmt.Errorf("want uniform or zipf:S, got %q", s)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad zipf exponent %q", rest)
+	}
+	return v, nil
+}
+
+// cpuModel reads the CPU model name (Linux /proc/cpuinfo; other platforms
+// fall back to the architecture).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// gitCommit reports the working tree's short commit hash, empty outside a
+// repository.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// compareSnapshots prints per-configuration ns/pkt deltas between two
+// snapshot files, so a sequence of BENCH_*.json files reads as a
+// trajectory.
+func compareSnapshots(oldPath, newPath string) error {
+	load := func(path string) (benchSnapshot, error) {
+		var s benchSnapshot
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return s, err
+		}
+		if err := json.Unmarshal(data, &s); err != nil {
+			return s, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	oldSnap, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("old: %s  go %s  commit %s  cpu %s\n", oldSnap.Date, oldSnap.Go, orDash(oldSnap.Commit), orDash(oldSnap.CPU))
+	fmt.Printf("new: %s  go %s  commit %s  cpu %s\n\n", newSnap.Date, newSnap.Go, orDash(newSnap.Commit), orDash(newSnap.CPU))
+	oldBy := make(map[string]benchResult, len(oldSnap.Results))
+	for _, r := range oldSnap.Results {
+		oldBy[r.key()] = r
+	}
+	matched := make(map[string]bool)
+	keys := make([]string, 0, len(newSnap.Results))
+	byKey := make(map[string]benchResult, len(newSnap.Results))
+	for _, r := range newSnap.Results {
+		keys = append(keys, r.key())
+		byKey[r.key()] = r
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-52s %12s %12s %9s\n", "config", "old ns/pkt", "new ns/pkt", "delta")
+	for _, k := range keys {
+		nr := byKey[k]
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-52s %12s %12.1f %9s\n", k, "-", nr.NsPerPkt, "new")
+			continue
+		}
+		matched[k] = true
+		delta := "n/a"
+		if or.NsPerPkt > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerPkt-or.NsPerPkt)/or.NsPerPkt)
+		}
+		fmt.Printf("%-52s %12.1f %12.1f %9s\n", k, or.NsPerPkt, nr.NsPerPkt, delta)
+	}
+	for _, r := range oldSnap.Results {
+		if !matched[r.key()] {
+			fmt.Printf("%-52s %12.1f %12s %9s\n", r.key(), r.NsPerPkt, "-", "gone")
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func printBenchRow(r benchResult) {
 	label := r.Engine
 	if r.Stride > 0 {
 		label = fmt.Sprintf("%s-k%d", r.Engine, r.Stride)
 	}
-	fmt.Printf("%-14s N=%-5d %10.1f ns/pkt %14.0f pkt/s %8.3f allocs/pkt\n",
+	if r.CacheEntries > 0 {
+		label = "cached-" + label
+	}
+	fmt.Printf("%-20s N=%-5d %10.1f ns/pkt %14.0f pkt/s %8.3f allocs/pkt",
 		label, r.Rules, r.NsPerPkt, r.PktsPerSec, r.AllocsPerPkt)
+	if r.CacheEntries > 0 {
+		fmt.Printf("  %5.1f%% hits", 100*r.HitRate)
+	}
+	fmt.Println()
 }
 
 func parseInts(csv string) ([]int, error) {

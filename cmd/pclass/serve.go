@@ -34,6 +34,10 @@ func runServe(args []string) {
 		batch       = fs.Int("batch", 64, "packets per submitted batch")
 		tracePath   = fs.String("trace", "", "trace file; a directed trace is generated when empty")
 		packets     = fs.Int("packets", 50000, "generated trace length when -trace is empty")
+		cacheN      = fs.Int("cache", 0, "flow-cache capacity in entries fronting the engine (0 = uncached)")
+		skew        = fs.String("skew", "uniform", "generated-trace skew: uniform | zipf:S (e.g. zipf:1.2)")
+		flows       = fs.Int("flows", 4096, "flow population size for zipf traffic")
+		burst       = fs.Float64("burst", 4, "mean flow-burst length for zipf traffic")
 		duration    = fs.Duration("duration", 2*time.Second, "load-generator run time")
 		clients     = fs.Int("clients", 4, "load-generator goroutines")
 		updateEvery = fs.Duration("update-every", 0, "interval between ruleset hot-swaps (0 disables churn)")
@@ -52,7 +56,9 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hdrs, err := loadOrGenerateTrace(*tracePath, rs, *packets, *seed)
+	hdrs, err := loadOrGenerateTrace(*tracePath, rs, traceSpec{
+		packets: *packets, skew: *skew, flows: *flows, burst: *burst, seed: *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,13 +66,14 @@ func runServe(args []string) {
 
 	if *measure {
 		res, err := sim.ServeTrace(rs, build, hdrs, sim.ServeConfig{
-			Workers:    *workers,
-			QueueDepth: *queue,
-			BatchSize:  *batch,
-			Swaps:      *swaps,
-			OpsPerSwap: *opsPerSwap,
-			Churn:      true,
-			Seed:       *seed,
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			BatchSize:    *batch,
+			Swaps:        *swaps,
+			OpsPerSwap:   *opsPerSwap,
+			CacheEntries: *cacheN,
+			Churn:        true,
+			Seed:         *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -82,9 +89,10 @@ func runServe(args []string) {
 	}
 
 	svc, err := serve.New(rs, build, serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Seed:       *seed,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		Seed:         *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -158,16 +166,37 @@ func runServe(args []string) {
 	fmt.Print(svc.Counters().Table())
 }
 
-// loadOrGenerateTrace reads the trace file when given, or generates a
-// directed trace from the ruleset.
-func loadOrGenerateTrace(path string, rs *ruleset.RuleSet, packets int, seed int64) ([]packet.Header, error) {
+// traceSpec parameterizes generated load: packet count plus the skew knobs
+// of the Zipf flow-burst generator.
+type traceSpec struct {
+	packets int
+	skew    string
+	flows   int
+	burst   float64
+	seed    int64
+}
+
+// loadOrGenerateTrace reads the trace file when given, or generates load
+// from the ruleset: a directed trace for -skew uniform, a Zipf flow-burst
+// trace for -skew zipf:S.
+func loadOrGenerateTrace(path string, rs *ruleset.RuleSet, spec traceSpec) ([]packet.Header, error) {
 	if path != "" {
 		return cli.LoadTrace(path)
 	}
-	if packets <= 0 {
+	if spec.packets <= 0 {
 		return nil, fmt.Errorf("pclass serve: -packets must be positive when no -trace is given")
 	}
-	return ruleset.GenerateTrace(rs, ruleset.TraceConfig{
-		Count: packets, MatchFraction: 0.8, Locality: 0.3, Seed: seed,
-	}), nil
+	zipfS, err := parseSkew(spec.skew)
+	if err != nil {
+		return nil, fmt.Errorf("pclass serve: -skew: %w", err)
+	}
+	if zipfS < 0 {
+		return ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+			Count: spec.packets, MatchFraction: 0.8, Locality: 0.3, Seed: spec.seed,
+		}), nil
+	}
+	pop := ruleset.FlowHeaders(rs, spec.flows, 0.8, spec.seed)
+	return packet.ZipfTrace(pop, packet.ZipfTraceConfig{
+		Count: spec.packets, S: zipfS, MeanBurst: spec.burst, Seed: spec.seed + 1,
+	})
 }

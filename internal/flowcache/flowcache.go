@@ -1,0 +1,455 @@
+// Package flowcache is a sharded, fixed-capacity, zero-allocation
+// exact-match cache on the packed 104-bit packet.Key — the software
+// analogue of the exact-match flow table real datapaths put in front of a
+// full classifier (RVH-style front-ends, OpenFlow microflow caches). Real
+// traffic is flow-dominated: the same 5-tuple arrives in long bursts, so a
+// tens-of-nanoseconds probe short-circuits the full StrideBV pipeline or
+// TCAM scan (hundreds to thousands of ns) for every packet after a flow's
+// first.
+//
+// # Structure
+//
+// The cache is split into power-of-two shards (hash high bits) so
+// concurrent batches rarely contend; each shard is a power-of-two array of
+// set-associative buckets (hash low bits) of bucketWays entries with a
+// per-bucket CLOCK hand giving second-chance eviction. Capacity is fixed
+// at construction: the steady state allocates nothing, inserts into a full
+// bucket evict in place, and the whole structure is two flat slices per
+// shard.
+//
+// The batch path (LookupBatch/InsertBatch) keeps the per-shard mutex off
+// the per-packet hot path: a batch is counting-sorted by shard once, and
+// each shard lock is taken once per batch for all of that shard's probes,
+// not once per packet.
+//
+// # Generations
+//
+// Correctness under the serving layer's atomic engine hot-swap is the
+// point of the design. Every entry is tagged with the generation of the
+// engine build that produced its result, and generations are allocated —
+// never reused — by NextGeneration. A lookup only hits when the entry's
+// tag equals the generation the caller is serving; after a swap installs a
+// build with a fresh generation, every entry written by retired builds
+// becomes a lazy miss (counted as a stale drop when its slot is touched).
+// There is no stop-the-world flush and readers never block: a batch still
+// in flight on the previous build keeps hitting that build's entries —
+// exactly the batch-on-one-engine-version semantics the serving layer
+// already guarantees — while batches on the new build repopulate slots as
+// they miss. Because a generation names one immutable engine build, a hit
+// can never return a decision from any other build, regardless of how
+// loads and swaps interleave.
+package flowcache
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"pktclass/internal/metrics"
+	"pktclass/internal/packet"
+)
+
+// bucketWays is the set associativity: the CLOCK hand sweeps this many
+// candidates before a victim is forced, bounding probe work per lookup.
+const bucketWays = 8
+
+// entry is one cached classification. gen 0 marks an empty slot
+// (NextGeneration starts at 1).
+type entry struct {
+	key    packet.Key
+	ref    bool // CLOCK second-chance bit, set on hit
+	result int32
+	gen    uint64
+}
+
+// bucket is one set: bucketWays entries plus the CLOCK hand.
+type bucket struct {
+	hand    uint8
+	entries [bucketWays]entry
+}
+
+// shard is an independently locked slice of the key space.
+type shard struct {
+	mu      sync.Mutex
+	buckets []bucket
+	_       [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// Config sizes a Cache.
+type Config struct {
+	// Entries is the total capacity across all shards; it is rounded up so
+	// each shard holds a power-of-two number of bucketWays-entry buckets
+	// (0 selects 1<<16).
+	Entries int
+	// Shards is the number of independently locked shards, rounded up to a
+	// power of two (0 selects 8).
+	Shards int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits       int64 // lookups answered from the cache
+	Misses     int64 // lookups that fell through to the engine
+	Evictions  int64 // live same-generation entries displaced by CLOCK
+	StaleDrops int64 // retired-generation entries displaced or probed over
+	Entries    int   // fixed capacity
+	Shards     int
+}
+
+// HitRate is hits over lookups, 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Table renders the snapshot through the metrics table model.
+func (s Stats) Table() *metrics.Table {
+	t := &metrics.Table{Title: "flow cache", Headers: []string{"counter", "value"}}
+	t.AddRow("capacity", fmt.Sprint(s.Entries))
+	t.AddRow("shards", fmt.Sprint(s.Shards))
+	t.AddRow("hits", fmt.Sprint(s.Hits))
+	t.AddRow("misses", fmt.Sprint(s.Misses))
+	t.AddRow("hit rate", fmt.Sprintf("%.1f%%", 100*s.HitRate()))
+	t.AddRow("evictions", fmt.Sprint(s.Evictions))
+	t.AddRow("stale drops", fmt.Sprint(s.StaleDrops))
+	return t
+}
+
+// Cache is the sharded flow cache. All methods are safe for concurrent
+// use.
+type Cache struct {
+	shards     []shard
+	shardShift uint // shard = hash >> shardShift (high bits)
+	bucketMask uint64
+
+	gen atomic.Uint64 // last generation handed out by NextGeneration
+
+	hits       metrics.Counter
+	misses     metrics.Counter
+	evictions  metrics.Counter
+	staleDrops metrics.Counter
+
+	scratch sync.Pool // *batchScratch
+}
+
+// New builds a fixed-capacity cache. The zero Config selects 1<<16 entries
+// across 8 shards.
+func New(cfg Config) *Cache {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 1 << 16
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	nShards := ceilPow2(cfg.Shards)
+	perShard := (cfg.Entries + nShards - 1) / nShards
+	nBuckets := ceilPow2((perShard + bucketWays - 1) / bucketWays)
+	c := &Cache{
+		shards:     make([]shard, nShards),
+		shardShift: uint(64 - bits.TrailingZeros(uint(nShards))),
+		bucketMask: uint64(nBuckets - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].buckets = make([]bucket, nBuckets)
+	}
+	return c
+}
+
+func ceilPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(v-1))
+}
+
+// Entries returns the fixed capacity.
+func (c *Cache) Entries() int {
+	return len(c.shards) * len(c.shards[0].buckets) * bucketWays
+}
+
+// NextGeneration allocates a fresh, never-reused generation for one engine
+// build. The serving layer calls it once per hot-swap; entries tagged by
+// any earlier generation become lazy misses for the new build.
+func (c *Cache) NextGeneration() uint64 { return c.gen.Add(1) }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Value(),
+		Misses:     c.misses.Value(),
+		Evictions:  c.evictions.Value(),
+		StaleDrops: c.staleDrops.Value(),
+		Entries:    c.Entries(),
+		Shards:     len(c.shards),
+	}
+}
+
+// Hash mixes the 104 key bits into the 64-bit probe hash the cache shards
+// and buckets are addressed by (splitmix64-style finalizer over the two
+// key words).
+func Hash(k packet.Key) uint64 {
+	hi := uint64(k[0])<<56 | uint64(k[1])<<48 | uint64(k[2])<<40 | uint64(k[3])<<32 |
+		uint64(k[4])<<24 | uint64(k[5])<<16 | uint64(k[6])<<8 | uint64(k[7])
+	lo := uint64(k[8])<<32 | uint64(k[9])<<24 | uint64(k[10])<<16 | uint64(k[11])<<8 |
+		uint64(k[12])
+	h := hi*0x9e3779b97f4a7c15 ^ lo
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// shardOf maps a hash to its shard index (high bits, independent of the
+// bucket index's low bits).
+func (c *Cache) shardOf(h uint64) int { return int(h >> c.shardShift) }
+
+// lookupLocked probes one bucket for key at generation gen. Caller holds
+// the shard lock. The second return distinguishes a hit from a miss; a
+// same-key entry from a retired generation counts as a stale drop and the
+// slot is left for insert to reclaim.
+func (c *Cache) lookupLocked(s *shard, h uint64, key packet.Key, gen uint64) (int32, bool) {
+	b := &s.buckets[h&c.bucketMask]
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.gen != 0 && e.key == key {
+			if e.gen == gen {
+				e.ref = true
+				return e.result, true
+			}
+			// Same flow, retired build: a lazy miss. Drop it now so the
+			// reinsert reclaims this slot instead of evicting a live entry.
+			e.gen = 0
+			c.staleDrops.Inc()
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// insertLocked stores (key, gen, result), preferring in place the same
+// key, then an empty or stale slot, then the CLOCK victim. Caller holds
+// the shard lock.
+func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, result int32) {
+	b := &s.buckets[h&c.bucketMask]
+	victim := -1
+	for i := range b.entries {
+		e := &b.entries[i]
+		switch {
+		case e.gen == 0:
+			if victim < 0 {
+				victim = i
+			}
+		case e.key == key:
+			// Refresh in place (a concurrent batch may have raced the same
+			// miss, or the flow was re-classified under a newer build). A
+			// cross-generation refresh is effectively a new entry, so it
+			// also loses any accumulated second chance.
+			if e.gen != gen {
+				c.staleDrops.Inc()
+				e.ref = false
+			}
+			e.gen, e.result = gen, result
+			return
+		case e.gen != gen && victim < 0:
+			// Retired-generation entries are dead weight; reclaim before
+			// touching any live entry.
+			c.staleDrops.Inc()
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Second chance: sweep the hand, clearing ref bits, and evict the
+		// first entry that was not hit since the last sweep. Bounded at two
+		// laps, after which the hand's entry is taken unconditionally.
+		for sweep := 0; sweep < 2*bucketWays; sweep++ {
+			e := &b.entries[b.hand]
+			if !e.ref {
+				victim = int(b.hand)
+				b.hand = (b.hand + 1) % bucketWays
+				break
+			}
+			e.ref = false
+			b.hand = (b.hand + 1) % bucketWays
+		}
+		if victim < 0 {
+			victim = int(b.hand)
+		}
+		c.evictions.Inc()
+	}
+	// New entries start unreferenced: second chance is earned by a hit,
+	// otherwise a stream of one-shot flows would flush every hot entry.
+	b.entries[victim] = entry{key: key, result: result, gen: gen}
+}
+
+// Lookup probes the cache for one key at generation gen.
+func (c *Cache) Lookup(key packet.Key, gen uint64) (int32, bool) {
+	h := Hash(key)
+	s := &c.shards[c.shardOf(h)]
+	s.mu.Lock()
+	r, ok := c.lookupLocked(s, h, key, gen)
+	s.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+	return r, ok
+}
+
+// Insert stores one classification result for key at generation gen.
+func (c *Cache) Insert(key packet.Key, gen uint64, result int32) {
+	h := Hash(key)
+	s := &c.shards[c.shardOf(h)]
+	s.mu.Lock()
+	c.insertLocked(s, h, key, gen, result)
+	s.mu.Unlock()
+}
+
+// batchScratch is one batch's reusable workspace: keys and hashes for the
+// whole batch, the counting-sort permutation grouping packets by shard,
+// and the compacted miss set.
+type batchScratch struct {
+	keys   []packet.Key
+	hashes []uint64
+	perm   []int32 // batch indices ordered by shard
+	starts []int32 // per-shard segment starts in perm (len = shards+1)
+	cursor []int32 // per-shard fill cursor for the counting sort
+	hit    []bool
+
+	missIdx  []int32
+	missHdrs []packet.Header
+	missOut  []int
+}
+
+func (c *Cache) getScratch(n int) *batchScratch {
+	sc, _ := c.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{
+			starts: make([]int32, len(c.shards)+1),
+			cursor: make([]int32, len(c.shards)),
+		}
+	}
+	if cap(sc.keys) < n {
+		sc.keys = make([]packet.Key, n)
+		sc.hashes = make([]uint64, n)
+		sc.perm = make([]int32, n)
+		sc.hit = make([]bool, n)
+		sc.missIdx = make([]int32, n)
+		sc.missHdrs = make([]packet.Header, n)
+		sc.missOut = make([]int, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.hashes = sc.hashes[:n]
+	sc.perm = sc.perm[:n]
+	sc.hit = sc.hit[:n]
+	return sc
+}
+
+// ClassifyBatchInto classifies hdrs into out at generation gen, answering
+// what it can from the cache and calling classifyMisses exactly once (when
+// there are misses) with the compacted miss set to fill in the rest; the
+// fresh results are inserted before returning. The whole batch costs one
+// lock acquisition per touched shard on the probe side and one on the
+// insert side, and the steady state allocates nothing (scratch is pooled).
+// classifyMisses must not retain its argument slices.
+func (c *Cache) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
+	n := len(hdrs)
+	if n == 0 {
+		return
+	}
+	if len(out) != n {
+		panic(fmt.Sprintf("flowcache: batch output length %d != input length %d", len(out), n))
+	}
+	sc := c.getScratch(n)
+	defer c.scratch.Put(sc)
+
+	// Key, hash and shard for the whole batch up front, then a counting
+	// sort over shard ids so each shard's probes run under one lock
+	// acquisition.
+	starts := sc.starts
+	for i := range starts {
+		starts[i] = 0
+	}
+	for i, h := range hdrs {
+		k := h.Key()
+		sc.keys[i] = k
+		hv := Hash(k)
+		sc.hashes[i] = hv
+		starts[c.shardOf(hv)+1]++
+	}
+	for s := 1; s < len(starts); s++ {
+		starts[s] += starts[s-1]
+	}
+	fill := sc.cursor
+	copy(fill, starts[:len(starts)-1])
+	for i := range hdrs {
+		s := c.shardOf(sc.hashes[i])
+		sc.perm[fill[s]] = int32(i)
+		fill[s]++
+	}
+
+	// Probe phase: one lock per touched shard.
+	hits := 0
+	for si := range c.shards {
+		lo, hi := starts[si], starts[si+1]
+		if lo == hi {
+			continue
+		}
+		s := &c.shards[si]
+		s.mu.Lock()
+		for _, pi := range sc.perm[lo:hi] {
+			r, ok := c.lookupLocked(s, sc.hashes[pi], sc.keys[pi], gen)
+			sc.hit[pi] = ok
+			if ok {
+				out[pi] = int(r)
+				hits++
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.hits.Add(int64(hits))
+	c.misses.Add(int64(n - hits))
+	if hits == n {
+		return
+	}
+
+	// Compact the misses shard-ordered (walking perm keeps the insert
+	// phase's shard grouping intact), classify them in one engine batch,
+	// and scatter the results back.
+	m := 0
+	for _, pi := range sc.perm {
+		if !sc.hit[pi] {
+			sc.missIdx[m] = pi
+			sc.missHdrs[m] = hdrs[pi]
+			m++
+		}
+	}
+	missHdrs, missOut := sc.missHdrs[:m], sc.missOut[:m]
+	classifyMisses(missHdrs, missOut)
+	for j, pi := range sc.missIdx[:m] {
+		out[pi] = missOut[j]
+	}
+
+	// Insert phase: misses are still shard-ordered, so again one lock per
+	// touched shard.
+	for j := 0; j < m; {
+		pi := sc.missIdx[j]
+		si := c.shardOf(sc.hashes[pi])
+		s := &c.shards[si]
+		s.mu.Lock()
+		for j < m {
+			pi = sc.missIdx[j]
+			if c.shardOf(sc.hashes[pi]) != si {
+				break
+			}
+			c.insertLocked(s, sc.hashes[pi], sc.keys[pi], gen, int32(missOut[j]))
+			j++
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flowcache
+
+const raceEnabled = false

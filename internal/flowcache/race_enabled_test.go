@@ -1,0 +1,8 @@
+//go:build race
+
+package flowcache
+
+// The race detector deliberately drops a fraction of sync.Pool puts to
+// shake out misuse, so the batch scratch pool cannot be allocation-free
+// under -race; the zero-alloc gates only run in normal builds.
+const raceEnabled = true

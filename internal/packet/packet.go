@@ -132,9 +132,15 @@ func (k Key) StridesInto(kbits int, dst []int) {
 		switch {
 		case end <= 64:
 			v = hi >> uint(64-end)
-		case off >= 64:
+		case off >= 64 && end <= 128:
 			v = lo >> uint(128-end)
+		case off >= 64:
+			// A wide final stage can run past bit 127 (off < W <= 128 but
+			// off+kbits > 128); the padding zeros shift in from the right.
+			v = lo << uint(end-128)
 		default:
+			// off < 64 < end <= 128 always here: kbits <= 64 caps end at
+			// off+64 < 128 for any straddling stage.
 			v = hi<<uint(end-64) | lo>>uint(128-end)
 		}
 		dst[s] = int(v & mask)

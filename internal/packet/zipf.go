@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf/flow-burst trace generation. Measured traffic is not uniform over
+// flows: flow popularity is heavy-tailed (Zipf-like, exponent typically
+// near 1) and packets of one flow arrive in bursts. Both properties decide
+// what an exact-match flow cache is worth — skew concentrates lookups on
+// few hot keys, bursts give even cold flows short-term reuse — so the
+// benchmark and load-generation workloads draw from this generator rather
+// than from uniform headers.
+//
+// The generator is over an explicit flow population ([]Header) instead of
+// a ruleset: callers control the match/default mix by how they draw the
+// population (ruleset.FlowHeaders directs a fraction of flows into rule
+// match regions), and this package stays free of ruleset dependencies.
+
+// ZipfTraceConfig parameterizes skewed flow-burst trace generation.
+type ZipfTraceConfig struct {
+	// Count is the number of headers to generate.
+	Count int
+	// S is the Zipf exponent: flow at popularity rank r is drawn with
+	// probability proportional to 1/r^S. S = 0 is the uniform baseline;
+	// measured traffic is typically S ≈ 0.9–1.2. Any S ≥ 0 is valid
+	// (unlike math/rand's Zipf, which requires S > 1).
+	S float64
+	// MeanBurst is the mean number of consecutive packets emitted per flow
+	// draw (geometric burst lengths, mean ≥ 1; 0 selects 1, i.e. no
+	// bursts).
+	MeanBurst float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// ZipfTrace draws a Count-packet trace over the flow population. Flow
+// popularity follows rank order: flows[0] is the hottest. The draw is a
+// precomputed-CDF inversion, so any exponent S ≥ 0 works and the trace is
+// reproducible from (flows, cfg) alone.
+func ZipfTrace(flows []Header, cfg ZipfTraceConfig) ([]Header, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("packet: zipf trace needs a non-empty flow population")
+	}
+	if cfg.Count < 0 || cfg.S < 0 {
+		return nil, fmt.Errorf("packet: invalid zipf config (count %d, s %g)", cfg.Count, cfg.S)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cdf := zipfCDF(len(flows), cfg.S)
+	burstP := 1.0
+	if cfg.MeanBurst > 1 {
+		burstP = 1 / cfg.MeanBurst
+	}
+	out := make([]Header, 0, cfg.Count)
+	for len(out) < cfg.Count {
+		f := flows[sampleCDF(cdf, rng)]
+		// Geometric burst ≥ 1: even a cold flow arrives as a short run of
+		// identical headers, the way a TCP exchange does.
+		out = append(out, f)
+		for len(out) < cfg.Count && rng.Float64() > burstP {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// zipfCDF precomputes the cumulative popularity distribution over n ranks
+// with exponent s.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	// Guard the binary search against floating-point shortfall at the top.
+	cdf[n-1] = 1
+	return cdf
+}
+
+// sampleCDF inverts one uniform draw through the CDF.
+func sampleCDF(cdf []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(cdf, u)
+}

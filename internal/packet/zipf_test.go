@@ -1,0 +1,136 @@
+package packet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func zipfPopulation(n int, seed int64) []Header {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Header, n)
+	for i := range out {
+		out[i] = Header{
+			SIP:   rng.Uint32(),
+			DIP:   rng.Uint32(),
+			SP:    uint16(rng.Intn(65536)),
+			DP:    uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+	}
+	return out
+}
+
+func TestZipfTraceDeterministic(t *testing.T) {
+	pop := zipfPopulation(100, 1)
+	cfg := ZipfTraceConfig{Count: 5000, S: 1.2, MeanBurst: 4, Seed: 7}
+	a, err := ZipfTrace(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfTrace(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if len(a) != cfg.Count {
+		t.Fatalf("trace length %d, want %d", len(a), cfg.Count)
+	}
+}
+
+func TestZipfTraceOnlyDrawsFromPopulation(t *testing.T) {
+	pop := zipfPopulation(32, 2)
+	in := make(map[Key]bool, len(pop))
+	for _, h := range pop {
+		in[h.Key()] = true
+	}
+	trace, err := ZipfTrace(pop, ZipfTraceConfig{Count: 2000, S: 0.9, MeanBurst: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if !in[h.Key()] {
+			t.Fatalf("packet %d not drawn from the population: %s", i, h)
+		}
+	}
+}
+
+// countByRank tallies how often each popularity rank appears in a trace.
+func countByRank(pop, trace []Header) []int {
+	rank := make(map[Key]int, len(pop))
+	for i, h := range pop {
+		rank[h.Key()] = i
+	}
+	counts := make([]int, len(pop))
+	for _, h := range trace {
+		counts[rank[h.Key()]]++
+	}
+	return counts
+}
+
+func TestZipfSkewConcentratesOnHotFlows(t *testing.T) {
+	pop := zipfPopulation(1000, 4)
+	const count = 200000
+	uniform, err := ZipfTrace(pop, ZipfTraceConfig{Count: count, S: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := ZipfTrace(pop, ZipfTraceConfig{Count: count, S: 1.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topShare := func(trace []Header) float64 {
+		counts := countByRank(pop, trace)
+		top := 0
+		for _, c := range counts[:100] { // hottest 10% of ranks
+			top += c
+		}
+		return float64(top) / float64(len(trace))
+	}
+	us, ss := topShare(uniform), topShare(skewed)
+	// Uniform: top 10% of flows get ~10% of packets. Zipf s=1.2 over 1000
+	// flows: the top decile carries the large majority of traffic.
+	if us > 0.15 {
+		t.Fatalf("uniform top-decile share %.2f, want ~0.10", us)
+	}
+	if ss < 0.7 {
+		t.Fatalf("zipf s=1.2 top-decile share %.2f, want >= 0.7", ss)
+	}
+}
+
+func TestZipfBurstsRepeatHeaders(t *testing.T) {
+	pop := zipfPopulation(500, 6)
+	trace, err := ZipfTrace(pop, ZipfTraceConfig{Count: 50000, S: 0, MeanBurst: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeats := 0
+	for i := 1; i < len(trace); i++ {
+		if trace[i] == trace[i-1] {
+			repeats++
+		}
+	}
+	// Mean burst 8 ⇒ ~7/8 of adjacent pairs are within-burst repeats.
+	if share := float64(repeats) / float64(len(trace)-1); share < 0.7 {
+		t.Fatalf("adjacent-repeat share %.2f with mean burst 8, want >= 0.7", share)
+	}
+}
+
+func TestZipfTraceRejectsBadInput(t *testing.T) {
+	if _, err := ZipfTrace(nil, ZipfTraceConfig{Count: 10}); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	pop := zipfPopulation(4, 8)
+	if _, err := ZipfTrace(pop, ZipfTraceConfig{Count: -1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := ZipfTrace(pop, ZipfTraceConfig{Count: 10, S: -0.5}); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+	trace, err := ZipfTrace(pop, ZipfTraceConfig{Count: 0})
+	if err != nil || len(trace) != 0 {
+		t.Fatalf("zero count: %v, %d headers", err, len(trace))
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pktclass/internal/core"
+	"pktclass/internal/flowcache"
 	"pktclass/internal/metrics"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
@@ -68,6 +69,15 @@ type Config struct {
 	// verify every candidate engine against core.NewLinear before it is
 	// swapped in (0 selects 256; negative disables swap verification).
 	VerifyPackets int
+	// CacheEntries enables the exact-match flow cache in front of the
+	// engine with this total capacity (0 disables caching). The cache is
+	// shared across hot-swaps: each swap wraps the fresh engine under a new
+	// cache generation, so entries written by retired builds become lazy
+	// misses without a flush and without blocking readers.
+	CacheEntries int
+	// CacheShards overrides the cache's shard count (0 selects the
+	// flowcache default).
+	CacheShards int
 	// Seed makes swap-verification traces deterministic.
 	Seed int64
 }
@@ -118,6 +128,10 @@ type Counters struct {
 	InvalidOps      int64 // update requests rejected before any build/verify was attempted
 	SwapLatencyMean time.Duration
 	SwapLatencyMax  time.Duration
+	// CacheEnabled reports whether the flow cache was configured; Cache is
+	// its counter snapshot (zero otherwise).
+	CacheEnabled bool
+	Cache        flowcache.Stats
 }
 
 // Table renders the snapshot through the metrics table model.
@@ -133,6 +147,13 @@ func (c Counters) Table() *metrics.Table {
 	t.AddRow("invalid update ops", fmt.Sprint(c.InvalidOps))
 	t.AddRow("swap latency mean", c.SwapLatencyMean.String())
 	t.AddRow("swap latency max", c.SwapLatencyMax.String())
+	if c.CacheEnabled {
+		t.AddRow("cache hits", fmt.Sprint(c.Cache.Hits))
+		t.AddRow("cache misses", fmt.Sprint(c.Cache.Misses))
+		t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", 100*c.Cache.HitRate()))
+		t.AddRow("cache evictions", fmt.Sprint(c.Cache.Evictions))
+		t.AddRow("cache stale drops", fmt.Sprint(c.Cache.StaleDrops))
+	}
 	return t
 }
 
@@ -151,6 +172,11 @@ type Service struct {
 	mu       sync.Mutex
 	rs       *ruleset.RuleSet
 	swapSeed int64
+
+	// cache, when non-nil, fronts every engine build with the exact-match
+	// flow cache; swapLocked wraps each verified build under a fresh
+	// generation.
+	cache *flowcache.Cache
 
 	// lifecycle guards the queues against submit-after-close: submitters
 	// hold it shared, Close holds it exclusively while closing the shards.
@@ -192,6 +218,10 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		rs:       rs,
 		swapSeed: cfg.Seed,
 		shards:   make([]chan *Pending, cfg.Workers),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = flowcache.New(flowcache.Config{Entries: cfg.CacheEntries, Shards: cfg.CacheShards})
+		eng = core.NewCached(eng, s.cache)
 	}
 	s.engine.Store(&eng)
 	// Distribute QueueDepth across the shards so the total buffered
@@ -337,6 +367,12 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 			return fmt.Errorf("serve: shadow verify failed, %w: %s", ErrRolledBack, m)
 		}
 	}
+	if s.cache != nil {
+		// Wrap after verification (the cache must not intercept the
+		// differential check) under a fresh generation: the pointer store
+		// below retires every entry older builds wrote, as lazy misses.
+		shadow = core.NewCached(shadow, s.cache)
+	}
 	s.rs = next
 	s.engine.Store(&shadow)
 	s.swaps.Inc()
@@ -344,9 +380,18 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 	return nil
 }
 
+// CacheStats snapshots the flow cache counters; ok is false when the
+// service runs uncached.
+func (s *Service) CacheStats() (stats flowcache.Stats, ok bool) {
+	if s.cache == nil {
+		return flowcache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
 // Counters snapshots the service statistics.
 func (s *Service) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Classified:      s.classified.Value(),
 		Batches:         s.batches.Value(),
 		Rejected:        s.rejected.Value(),
@@ -358,6 +403,11 @@ func (s *Service) Counters() Counters {
 		SwapLatencyMean: s.swapLatency.Mean(),
 		SwapLatencyMax:  s.swapLatency.Max(),
 	}
+	if s.cache != nil {
+		c.CacheEnabled = true
+		c.Cache = s.cache.Stats()
+	}
+	return c
 }
 
 // Close stops accepting submissions, waits for queued and in-flight

@@ -655,3 +655,116 @@ func BenchmarkHotSwap(b *testing.B) {
 		}
 	}
 }
+
+func TestCachedServiceClassifiesLikeReference(t *testing.T) {
+	rs := prefixSet(t, 64, 31)
+	// Heavy 5-tuple reuse so the second replay is answered from the cache.
+	pop := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 200, MatchFraction: 0.8, Seed: 32})
+	trace := make([]packet.Header, 4000)
+	for i := range trace {
+		trace[i] = pop[(i*13)%len(pop)]
+	}
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, QueueDepth: 8, CacheEntries: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	ref := core.NewLinear(rs)
+	ctx := context.Background()
+	for pass := 0; pass < 2; pass++ {
+		for lo := 0; lo < len(trace); lo += 128 {
+			hi := lo + 128
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			got, err := svc.Classify(ctx, trace[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range trace[lo:hi] {
+				if want := ref.Classify(h); got[i] != want {
+					t.Fatalf("pass %d packet %d: got %d want %d", pass, lo+i, got[i], want)
+				}
+			}
+		}
+	}
+	stats, ok := svc.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats reports no cache on a cached service")
+	}
+	if stats.Hits == 0 {
+		t.Fatalf("no cache hits after a reuse-heavy double replay: %+v", stats)
+	}
+	c := svc.Counters()
+	if !c.CacheEnabled || c.Cache.Hits != stats.Hits {
+		t.Fatalf("counters cache snapshot inconsistent: %+v vs %+v", c.Cache, stats)
+	}
+}
+
+// TestCachedServiceHotSwapInvalidates is the serving-layer half of the
+// generation invariant: once ApplyOps returns, every classification —
+// cache hit or miss — must reflect the new ruleset, with no flush between
+// the swap and the next lookup.
+func TestCachedServiceHotSwapInvalidates(t *testing.T) {
+	rs := prefixSet(t, 64, 33)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 2, QueueDepth: 4, VerifyPackets: 64, CacheEntries: 1 << 12, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	ctx := context.Background()
+
+	cur := rs.Clone()
+	ref := core.NewLinear(cur)
+	pop := ruleset.GenerateTrace(cur, ruleset.TraceConfig{Count: 300, MatchFraction: 0.9, Seed: 35})
+	check := func(tag string) {
+		for lo := 0; lo < len(pop); lo += 64 {
+			hi := lo + 64
+			if hi > len(pop) {
+				hi = len(pop)
+			}
+			got, err := svc.Classify(ctx, pop[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range pop[lo:hi] {
+				if want := ref.Classify(h); got[i] != want {
+					t.Fatalf("%s: packet %d stale: got %d want %d", tag, lo+i, got[i], want)
+				}
+			}
+		}
+	}
+	check("pre-swap cold")
+	check("pre-swap warm") // now largely cache hits
+
+	changed := false
+	for swap := 0; swap < 10; swap++ {
+		ops, err := update.GenerateOps(cur, 16, int64(40+swap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := update.ApplyToRuleSet(cur, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.ApplyOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		nextRef := core.NewLinear(next)
+		for _, h := range pop {
+			if ref.Classify(h) != nextRef.Classify(h) {
+				changed = true
+			}
+		}
+		cur, ref = next, nextRef
+		check("post-swap")
+		check("post-swap warm")
+	}
+	if !changed {
+		t.Fatal("update stream never changed a decision on the population; staleness would be invisible")
+	}
+	stats, _ := svc.CacheStats()
+	if stats.StaleDrops == 0 {
+		t.Fatalf("hot-swaps over a warm cache produced no stale drops: %+v", stats)
+	}
+}

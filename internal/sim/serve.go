@@ -36,6 +36,12 @@ type ServeConfig struct {
 	// VerifyPackets is the per-swap differential verification trace length
 	// (see serve.Config.VerifyPackets).
 	VerifyPackets int
+	// CacheEntries fronts the service's engines with the exact-match flow
+	// cache of this capacity (0 replays uncached; see
+	// serve.Config.CacheEntries). The churn-free baseline is always
+	// uncached, so DegradationPct directly reads the combined cost or win
+	// of the serving layer plus cache under update churn.
+	CacheEntries int
 	// Churn false replays with no updater at all.
 	Churn bool
 	// Seed makes the update stream deterministic.
@@ -101,6 +107,7 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 		Workers:       cfg.Workers,
 		QueueDepth:    cfg.QueueDepth,
 		VerifyPackets: cfg.VerifyPackets,
+		CacheEntries:  cfg.CacheEntries,
 		Seed:          cfg.Seed,
 	})
 	if err != nil {

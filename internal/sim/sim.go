@@ -32,7 +32,10 @@ type BatchResult struct {
 // (core.BatchClassifier), so the per-packet cost is the algorithm, not
 // interface dispatch or allocator traffic. The engine's Classify must be
 // safe for concurrent use; every engine in this repository is, because
-// classification only reads the built structures.
+// classification only reads the built structures. A core.Cached engine
+// routes every worker through the shared flow cache the same way (its
+// sharded batch probe is concurrency-safe), so flow-cached throughput is
+// measured by wrapping the engine before the call.
 func ClassifyBatch(eng core.Engine, trace []packet.Header, workers int) BatchResult {
 	if len(trace) == 0 {
 		// No work: report zero packets over zero workers rather than

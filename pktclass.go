@@ -27,6 +27,7 @@ import (
 
 	"pktclass/internal/core"
 	"pktclass/internal/floorplan"
+	"pktclass/internal/flowcache"
 	"pktclass/internal/fpga"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
@@ -62,6 +63,16 @@ type (
 	Report = fpga.Report
 	// Comparison is the head-to-head result of both engines on one ruleset.
 	Comparison = core.Comparison
+	// FlowCache is the sharded, generation-tagged exact-match flow cache.
+	FlowCache = flowcache.Cache
+	// FlowCacheConfig sizes a FlowCache.
+	FlowCacheConfig = flowcache.Config
+	// FlowCacheStats is a FlowCache counter snapshot.
+	FlowCacheStats = flowcache.Stats
+	// Cached is an engine fronted by a FlowCache under one generation.
+	Cached = core.Cached
+	// ZipfTraceConfig parameterizes skewed flow-burst trace generation.
+	ZipfTraceConfig = packet.ZipfTraceConfig
 )
 
 // Rule/ruleset construction.
@@ -126,6 +137,30 @@ func NewRangeStrideBV(rs *RuleSet, stride int) (*stridebv.RangeEngine, error) {
 // ActionOf resolves a classification result to the rule's action
 // (default-deny on miss).
 func ActionOf(rs *RuleSet, rule int) Action { return core.Action(rs, rule) }
+
+// NewFlowCache builds the sharded exact-match flow cache (the zero Config
+// selects 1<<16 entries across 8 shards).
+func NewFlowCache(cfg FlowCacheConfig) *FlowCache { return flowcache.New(cfg) }
+
+// NewCached fronts an engine with the flow cache under a freshly allocated
+// generation: repeated 5-tuples are answered from the cache, and retiring
+// a build (allocating a new generation over the same cache) turns its
+// entries into lazy misses. See internal/flowcache for the generation
+// invariant.
+func NewCached(eng Engine, cache *FlowCache) *Cached { return core.NewCached(eng, cache) }
+
+// FlowHeaders draws a flow population from the ruleset for the skewed
+// traffic generators: n flow headers, matchFraction of them directed into
+// rule match regions.
+func FlowHeaders(rs *RuleSet, n int, matchFraction float64, seed int64) []Header {
+	return ruleset.FlowHeaders(rs, n, matchFraction, seed)
+}
+
+// ZipfTrace draws a skewed flow-burst trace over the flow population
+// (flows[0] is the hottest; see ZipfTraceConfig).
+func ZipfTrace(flows []Header, cfg ZipfTraceConfig) ([]Header, error) {
+	return packet.ZipfTrace(flows, cfg)
+}
 
 // ClassifyBatch classifies hdrs into out (one rule index or -1 per header;
 // lengths must match), using the engine's native batch path when it has one

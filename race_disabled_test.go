@@ -1,0 +1,5 @@
+//go:build !race
+
+package pktclass
+
+const raceEnabled = false
