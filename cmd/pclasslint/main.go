@@ -1,0 +1,18 @@
+// Pclasslint is this repository's static-analysis suite: a go vet
+// -vettool enforcing the engine-room invariants the compiler cannot see.
+// See LINT.md for the analyzer catalogue and the annotation grammar.
+//
+// Usage:
+//
+//	go build -o bin/pclasslint ./cmd/pclasslint
+//	go vet -vettool=$PWD/bin/pclasslint ./...
+package main
+
+import (
+	"pktclass/internal/lint/analyzers"
+	"pktclass/internal/lint/unit"
+)
+
+func main() {
+	unit.Main("pktclass", analyzers.All())
+}

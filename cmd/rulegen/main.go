@@ -65,6 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *defRule {
+			//pclass:allow-mutate freshly generated, not yet shared
 			rs.Rules = append(rs.Rules[:len(rs.Rules)-1], ruleset.NewWildcardRule(ruleset.Action{Kind: ruleset.Drop}))
 		}
 	default:

@@ -1,3 +1,8 @@
+// pktclass deliberately has an empty module graph: the lint suite's
+// analysis framework and go vet driver protocol (the role of
+// golang.org/x/tools/go/analysis + unitchecker) are implemented in-repo
+// under internal/lint on the standard library, so builds, tests and the
+// vettool need no module downloads. See LINT.md.
 module pktclass
 
 go 1.22

@@ -61,6 +61,8 @@ func (v Vector) Clone() Vector {
 // CopyFrom overwrites v with the bits of o without allocating. Lengths must
 // match. This is the allocation-free alternative to Clone for callers that
 // recycle a scratch vector across classifications.
+//
+//pclass:hotpath
 func (v Vector) CopyFrom(o Vector) {
 	v.checkLen(o)
 	copy(v.words, o.words)
@@ -133,6 +135,8 @@ func (v Vector) And(o Vector) Vector {
 
 // AndInto computes dst = v AND o without allocating. Lengths must match.
 // dst may alias v or o.
+//
+//pclass:hotpath
 func (v Vector) AndInto(o, dst Vector) {
 	v.checkLen(o)
 	v.checkLen(dst)
@@ -142,6 +146,8 @@ func (v Vector) AndInto(o, dst Vector) {
 }
 
 // AndWith computes v &= o in place.
+//
+//pclass:hotpath
 func (v Vector) AndWith(o Vector) {
 	v.checkLen(o)
 	for i := range v.words {
@@ -187,6 +193,8 @@ func (v Vector) checkLen(o Vector) {
 // all zeros. The lowest index is the highest-priority rule, so FirstSet is
 // the software analogue of the priority encoder at the end of the StrideBV
 // pipeline and inside a TCAM.
+//
+//pclass:hotpath
 func (v Vector) FirstSet() int {
 	for i, w := range v.words {
 		if w != 0 {
@@ -197,6 +205,8 @@ func (v Vector) FirstSet() int {
 }
 
 // NextSet returns the index of the lowest set bit >= from, or -1.
+//
+//pclass:hotpath
 func (v Vector) NextSet(from int) int {
 	if from < 0 {
 		from = 0

@@ -19,6 +19,8 @@ type BatchClassifier interface {
 // ClassifyBatchInto classifies hdrs into out, dispatching to the engine's
 // native batch path when it has one and falling back to a per-packet loop
 // otherwise. len(out) must equal len(hdrs).
+//
+//pclass:hotpath
 func ClassifyBatchInto(eng Engine, hdrs []packet.Header, out []int) {
 	if len(out) != len(hdrs) {
 		panic(fmt.Sprintf("core: batch output length %d != input length %d", len(out), len(hdrs)))

@@ -66,6 +66,8 @@ func (c *Cached) Generation() uint64 { return c.gen }
 
 // Classify returns the highest-priority matching rule index, consulting
 // the flow cache first.
+//
+//pclass:hotpath
 func (c *Cached) Classify(h packet.Header) int {
 	key := h.Key()
 	if r, ok := c.cache.Lookup(key, c.gen); ok {
@@ -79,6 +81,8 @@ func (c *Cached) Classify(h packet.Header) int {
 // ClassifyBatch classifies hdrs into out through the cache's batched
 // probe/insert path, classifying only the misses on the wrapped engine
 // (its native batch path when it has one).
+//
+//pclass:hotpath
 func (c *Cached) ClassifyBatch(hdrs []packet.Header, out []int) {
 	c.cache.ClassifyBatchInto(c.gen, hdrs, out, c.missFn)
 }

@@ -14,6 +14,11 @@ import (
 // Engine is a packet classifier. Implementations in this repository:
 // the linear reference (this package), tcam.Behavioral, tcam.FPGA,
 // stridebv.Engine (any stride, FSBV at k=1) and stridebv.RangeEngine.
+//
+// The implementation set is open, so type switches over Engine must carry
+// a default arm for unknown engines.
+//
+//pclass:exhaustive type switches need a default case
 type Engine interface {
 	// Name identifies the engine for reports.
 	Name() string
@@ -43,6 +48,8 @@ func (l *Linear) Name() string { return "linear-reference" }
 func (l *Linear) Classify(h packet.Header) int { return l.rs.FirstMatch(h) }
 
 // ClassifyBatch classifies hdrs into out (the BatchClassifier fast path).
+//
+//pclass:hotpath
 func (l *Linear) ClassifyBatch(hdrs []packet.Header, out []int) {
 	for i, h := range hdrs {
 		out[i] = l.rs.FirstMatch(h)

@@ -190,6 +190,8 @@ func (c *Cache) Stats() Stats {
 // Hash mixes the 104 key bits into the 64-bit probe hash the cache shards
 // and buckets are addressed by (splitmix64-style finalizer over the two
 // key words).
+//
+//pclass:hotpath
 func Hash(k packet.Key) uint64 {
 	hi := uint64(k[0])<<56 | uint64(k[1])<<48 | uint64(k[2])<<40 | uint64(k[3])<<32 |
 		uint64(k[4])<<24 | uint64(k[5])<<16 | uint64(k[6])<<8 | uint64(k[7])
@@ -212,6 +214,8 @@ func (c *Cache) shardOf(h uint64) int { return int(h >> c.shardShift) }
 // the shard lock. The second return distinguishes a hit from a miss; a
 // same-key entry from a retired generation counts as a stale drop and the
 // slot is left for insert to reclaim.
+//
+//pclass:hotpath
 func (c *Cache) lookupLocked(s *shard, h uint64, key packet.Key, gen uint64) (int32, bool) {
 	b := &s.buckets[h&c.bucketMask]
 	for i := range b.entries {
@@ -234,6 +238,8 @@ func (c *Cache) lookupLocked(s *shard, h uint64, key packet.Key, gen uint64) (in
 // insertLocked stores (key, gen, result), preferring in place the same
 // key, then an empty or stale slot, then the CLOCK victim. Caller holds
 // the shard lock.
+//
+//pclass:hotpath
 func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, result int32) {
 	b := &s.buckets[h&c.bucketMask]
 	victim := -1
@@ -287,6 +293,8 @@ func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, res
 }
 
 // Lookup probes the cache for one key at generation gen.
+//
+//pclass:hotpath
 func (c *Cache) Lookup(key packet.Key, gen uint64) (int32, bool) {
 	h := Hash(key)
 	s := &c.shards[c.shardOf(h)]
@@ -302,6 +310,8 @@ func (c *Cache) Lookup(key packet.Key, gen uint64) (int32, bool) {
 }
 
 // Insert stores one classification result for key at generation gen.
+//
+//pclass:hotpath
 func (c *Cache) Insert(key packet.Key, gen uint64, result int32) {
 	h := Hash(key)
 	s := &c.shards[c.shardOf(h)]
@@ -357,6 +367,8 @@ func (c *Cache) getScratch(n int) *batchScratch {
 // lock acquisition per touched shard on the probe side and one on the
 // insert side, and the steady state allocates nothing (scratch is pooled).
 // classifyMisses must not retain its argument slices.
+//
+//pclass:hotpath
 func (c *Cache) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
 	n := len(hdrs)
 	if n == 0 {

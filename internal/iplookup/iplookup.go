@@ -181,7 +181,7 @@ func GenerateTable(n int, seed int64) []Route {
 		l := prefixLenMix[rng.Intn(len(prefixLenMix))]
 		p, err := ruleset.NewPrefix(rng.Uint32(), 32, l)
 		if err != nil {
-			panic(err)
+			panic("iplookup: generated route prefix invalid: " + err.Error())
 		}
 		out = append(out, Route{Prefix: p, NextHop: rng.Intn(16)})
 	}

@@ -1,0 +1,132 @@
+// Package analysis is the minimal static-analysis framework pclasslint's
+// analyzers are written against.
+//
+// It mirrors the shape of golang.org/x/tools/go/analysis — an Analyzer
+// runs over one type-checked package (a Pass) and reports position-tagged
+// Diagnostics — but is self-contained on the standard library so the
+// repository carries no external dependency. Cross-package state is the
+// single facts.Package fact type rather than arbitrary fact types, which
+// is all the pclass invariants need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pktclass/internal/lint/facts"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in documentation and test output.
+	Name string
+	// Doc is the one-paragraph description LINT.md is generated from.
+	Doc string
+	// SuppressKey is the <key> of the "//pclass:allow-<key>" comment that
+	// silences this analyzer on the same or the immediately preceding
+	// line.
+	SuppressKey string
+	// Run performs the check, reporting findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Facts holds the annotation facts of the package under analysis.
+	Facts *facts.Package
+	// DepFacts returns the recorded annotation facts of an imported
+	// package by path, or nil when none are known (std, out-of-module).
+	DepFacts func(path string) *facts.Package
+	// Report records one finding. The driver applies allow-comment
+	// suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactsFor resolves annotation facts for any package referenced from the
+// pass: the pass's own facts for the package under analysis, recorded
+// dependency facts otherwise.
+func (p *Pass) FactsFor(pkg *types.Package) *facts.Package {
+	if pkg == nil {
+		return nil
+	}
+	if pkg == p.Pkg || pkg.Path() == p.Pkg.Path() {
+		return p.Facts
+	}
+	if p.DepFacts == nil {
+		return nil
+	}
+	return p.DepFacts(pkg.Path())
+}
+
+// Suppressions indexes //pclass:allow-<key> comments by file and line so
+// Report calls can honor the escape hatches.
+type Suppressions struct {
+	byFile map[string]map[int][]string
+}
+
+// BuildSuppressions scans every comment in files for allow annotations.
+func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, facts.Prefix+"allow-")
+				if !ok {
+					continue
+				}
+				key := text
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					key = text[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], key)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic with the given suppress key at
+// pos is silenced by an allow comment on the same line or the line
+// immediately above.
+func (s *Suppressions) Suppressed(pos token.Position, key string) bool {
+	if s == nil || key == "" {
+		return false
+	}
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, k := range lines[l] {
+			if k == key {
+				return true
+			}
+		}
+	}
+	return false
+}

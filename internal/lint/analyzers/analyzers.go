@@ -1,0 +1,15 @@
+package analyzers
+
+import "pktclass/internal/lint/analysis"
+
+// All returns every pclasslint analyzer in the order findings are
+// reported.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		Immutability,
+		LockSafe,
+		PanicStyle,
+		ExhaustEngine,
+	}
+}

@@ -1,0 +1,47 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"pktclass/internal/lint/analyzers"
+	"pktclass/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, analyzers.HotPathAlloc, "hotpath")
+}
+
+func TestImmutability(t *testing.T) {
+	// def must load first so use's DepFacts can see its annotations; the
+	// defining package itself must stay clean (construction is allowed).
+	linttest.Run(t, analyzers.Immutability, "immut/def", "immut/use")
+}
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, analyzers.LockSafe, "locksafe")
+}
+
+func TestPanicStyle(t *testing.T) {
+	linttest.Run(t, analyzers.PanicStyle, "panicstyle")
+}
+
+func TestExhaustEngine(t *testing.T) {
+	linttest.Run(t, analyzers.ExhaustEngine, "exhaust/def", "exhaust/use")
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := analyzers.All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil || a.SuppressKey == "" {
+			t.Errorf("analyzer %+v incompletely declared", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

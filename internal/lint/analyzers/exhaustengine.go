@@ -1,0 +1,167 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pktclass/internal/lint/analysis"
+)
+
+// ExhaustEngine enforces exhaustive dispatch over annotated engine
+// interfaces and enum types.
+var ExhaustEngine = &analysis.Analyzer{
+	Name:        "exhaustengine",
+	SuppressKey: "exhaustive",
+	Doc: `require exhaustive switches over //pclass:exhaustive interfaces and enums
+
+Engine dispatch is open (core.Engine implementations live in several
+packages), so a type switch over a //pclass:exhaustive interface must
+carry a default case — silently classifying an unknown engine as
+nothing is how a new engine ships half-wired. A switch over a
+//pclass:exhaustive constant enum type (ruleset.Profile,
+fpga.MemoryKind, stride-width style registries) must either cover every
+member — only the exported members when switching outside the defining
+package — or carry a default case that panics. Suppress with
+//pclass:allow-exhaustive.`,
+	Run: runExhaustEngine,
+}
+
+func runExhaustEngine(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, x)
+			case *ast.SwitchStmt:
+				checkEnumSwitch(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the expression whose type drives a type
+// switch (from "v.(type)" in either statement form).
+func typeSwitchSubject(st *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := st.Assign.(type) {
+	case *ast.ExprStmt:
+		e = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	}
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}
+
+func checkTypeSwitch(pass *analysis.Pass, st *ast.TypeSwitchStmt) {
+	subj := typeSwitchSubject(st)
+	if subj == nil {
+		return
+	}
+	named, ok := types.Unalias(pass.TypesInfo.TypeOf(subj)).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pass.FactsFor(obj.Pkg()).HasExhaustiveIface(obj.Name()) {
+		return
+	}
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return // has a default case
+		}
+	}
+	pass.Reportf(st.Pos(),
+		"type switch over //pclass:exhaustive interface %s.%s has no default case for unknown implementations",
+		obj.Pkg().Name(), obj.Name())
+}
+
+func checkEnumSwitch(pass *analysis.Pass, st *ast.SwitchStmt) {
+	if st.Tag == nil {
+		return
+	}
+	named, ok := types.Unalias(pass.TypesInfo.TypeOf(st.Tag)).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	members := pass.FactsFor(obj.Pkg()).EnumMembers(obj.Name())
+	if members == nil {
+		return
+	}
+	samePkg := obj.Pkg().Path() == pass.Pkg.Path()
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !samePkg && !m.Exported {
+			continue
+		}
+		if !covered[m.Value] {
+			missing = append(missing, m.Name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	enum := fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+	if defaultClause == nil {
+		pass.Reportf(st.Pos(),
+			"switch over //pclass:exhaustive enum %s misses %s and has no panicking default case",
+			enum, strings.Join(missing, ", "))
+		return
+	}
+	if !bodyPanics(pass, defaultClause.Body) {
+		pass.Reportf(defaultClause.Pos(),
+			"default case of a non-exhaustive switch over //pclass:exhaustive enum %s (missing %s) must panic",
+			enum, strings.Join(missing, ", "))
+	}
+}
+
+// bodyPanics reports whether a statement list contains a panic call
+// (outside nested function literals).
+func bodyPanics(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass.TypesInfo, call.Fun, "panic") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,107 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pktclass/internal/lint/analysis"
+)
+
+// Immutability flags writes through fields of //pclass:immutable types
+// outside their defining package.
+var Immutability = &analysis.Analyzer{
+	Name:        "immutability",
+	SuppressKey: "mutate",
+	Doc: `forbid field writes to //pclass:immutable types outside their package
+
+A built *ruleset.Expanded (and the *ruleset.RuleSet it came from) is
+shared by every engine constructed over it and by the serving layer's
+differential verifier; PR 2 shipped a real bug where
+stridebv.UpdateEntry wrote the shared entry table in place. Outside the
+defining package the analyzer flags any assignment, ++/--, copy or
+append whose destination reaches through a field of an annotated type —
+including element writes like ex.Entries[j] = v, which mutate shared
+backing arrays. Construction inside the defining package is unrestricted.
+A deliberate write to storage the writer owns (e.g. a copy-on-write
+private clone) is declared with //pclass:allow-mutate.`,
+	Run: runImmutability,
+}
+
+func runImmutability(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					checkImmutableWrite(pass, lhs, "assignment")
+				}
+			case *ast.IncDecStmt:
+				checkImmutableWrite(pass, x.X, "update")
+			case *ast.CallExpr:
+				// copy(dst, ...) and append's first argument both mutate or
+				// republish the destination's backing array.
+				if len(x.Args) > 0 && isBuiltin(pass.TypesInfo, x.Fun, "copy") {
+					checkImmutableWrite(pass, x.Args[0], "copy")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkImmutableWrite reports when expr (a write destination) reaches
+// through a field selection on an immutable-annotated named type declared
+// in another package.
+func checkImmutableWrite(pass *analysis.Pass, expr ast.Expr, how string) {
+	e := expr
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if named, ok := immutableOwner(pass, sel.Recv()); ok {
+					obj := named.Obj()
+					if obj.Pkg() != nil && obj.Pkg().Path() != pass.Pkg.Path() {
+						pass.Reportf(expr.Pos(),
+							"%s writes field %s of //pclass:immutable type %s.%s outside its defining package",
+							how, x.Sel.Name, obj.Pkg().Name(), obj.Name())
+						return
+					}
+				}
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// immutableOwner unwraps pointers and reports whether t is a named type
+// annotated //pclass:immutable in its defining package.
+func immutableOwner(pass *analysis.Pass, t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false
+	}
+	fs := pass.FactsFor(obj.Pkg())
+	if fs.HasImmutable(obj.Name()) {
+		return named, true
+	}
+	return nil, false
+}

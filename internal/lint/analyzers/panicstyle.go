@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"pktclass/internal/lint/analysis"
+)
+
+// PanicStyle enforces the "<pkg>: ..." constant-prefix convention on
+// panic messages.
+var PanicStyle = &analysis.Analyzer{
+	Name:        "panicstyle",
+	SuppressKey: "panic",
+	Doc: `require panic messages to carry a constant "<pkg>: " prefix
+
+A panic that escapes the classification stack is read in a goroutine
+dump, far from its source; every panic message must therefore identify
+its package with a constant prefix — panic("bitvec: ..."), a
+fmt.Sprintf whose format literal carries the prefix, or a constant
+concatenation whose leftmost operand does. Bare panic(err) is the
+canonical violation. Test files and package main are exempt. Suppress
+with //pclass:allow-panic.`,
+	Run: runPanicStyle,
+}
+
+func runPanicStyle(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	want := pass.Pkg.Name() + ": "
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.TypesInfo, call.Fun, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			if !panicMsgOK(pass, call.Args[0], want) {
+				pass.Reportf(call.Pos(), "panic message must be a constant-prefixed %q string", want)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// panicMsgOK reports whether the panic argument resolves to a message
+// whose constant leading text starts with want.
+func panicMsgOK(pass *analysis.Pass, arg ast.Expr, want string) bool {
+	arg = ast.Unparen(arg)
+	// Any constant string expression (literal, named constant, constant
+	// concatenation) is judged by its value.
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), want)
+	}
+	switch x := arg.(type) {
+	case *ast.BinaryExpr:
+		// "pkg: context: " + err.Error() — the leftmost operand carries
+		// the prefix.
+		return panicMsgOK(pass, x.X, want)
+	case *ast.CallExpr:
+		// fmt.Sprintf/Errorf("pkg: ...", args...) and equivalents: the
+		// format (or first) argument carries the prefix.
+		if name, ok := pkgFuncName(pass.TypesInfo, x.Fun, "fmt"); ok && len(x.Args) > 0 {
+			switch name {
+			case "Sprintf", "Errorf", "Sprint", "Sprintln":
+				return panicMsgOK(pass, x.Args[0], want)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+// Package use dispatches over def's exhaustive interface and enum from
+// outside the defining package.
+package use
+
+import "exhaust/def"
+
+type fake struct{}
+
+func (fake) Name() string { return "fake" }
+
+// describe has no default arm: an engine added next PR would fall
+// through silently.
+func describe(e def.Engine) string {
+	switch e.(type) { // want `type switch over //pclass:exhaustive interface def\.Engine has no default case`
+	case fake:
+		return "fake"
+	}
+	return ""
+}
+
+// describeOK carries the required default.
+func describeOK(e def.Engine) string {
+	switch v := e.(type) {
+	case fake:
+		return v.Name()
+	default:
+		panic("use: unknown engine " + e.Name())
+	}
+}
+
+// width misses an exported member and its default does not panic.
+func width(k def.Kind) int {
+	switch k {
+	case def.StrideBV:
+		return 4
+	case def.TCAM:
+		return 1
+	default: // want `default case of a non-exhaustive switch over //pclass:exhaustive enum def\.Kind \(missing Linear\) must panic`
+		return 0
+	}
+}
+
+// widthOK covers every exported member; the unexported sentinel numKinds
+// is not required outside the defining package.
+func widthOK(k def.Kind) int {
+	switch k {
+	case def.StrideBV:
+		return 4
+	case def.TCAM:
+		return 1
+	case def.Linear:
+		return 0
+	}
+	return -1
+}
+
+// widthAllowed is the sanctioned escape.
+func widthAllowed(k def.Kind) int {
+	//pclass:allow-exhaustive prototype tool, misses are impossible here
+	switch k {
+	case def.StrideBV:
+		return 4
+	}
+	return 0
+}
+
+var _ = describe
+var _ = describeOK
+var _ = width
+var _ = widthOK
+var _ = widthAllowed

@@ -1,0 +1,24 @@
+// Package def declares the immutable-after-build types.
+package def
+
+// Expanded mimics ruleset.Expanded: shared by every engine built over
+// it, never written after construction.
+//
+//pclass:immutable
+type Expanded struct {
+	Entries []int
+	Parent  []int
+	N       int
+}
+
+// Build constructs an Expanded; writes inside the defining package are
+// unrestricted.
+func Build(n int) *Expanded {
+	ex := &Expanded{N: n}
+	for i := 0; i < n; i++ {
+		ex.Entries = append(ex.Entries, i)
+		ex.Parent = append(ex.Parent, 0)
+	}
+	ex.Entries[0] = 1
+	return ex
+}

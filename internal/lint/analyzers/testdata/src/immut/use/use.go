@@ -1,0 +1,33 @@
+// Package use consumes def's immutable types from outside.
+package use
+
+import "immut/def"
+
+type engine struct {
+	ex *def.Expanded
+}
+
+func (e *engine) mutate(v int) {
+	e.ex.Entries[0] = v             // want `assignment writes field Entries of //pclass:immutable type def\.Expanded`
+	e.ex.N = v                      // want `assignment writes field N of //pclass:immutable type def\.Expanded`
+	e.ex.Parent[0]++                // want `update writes field Parent of //pclass:immutable type def\.Expanded`
+	copy(e.ex.Entries, e.ex.Parent) // want `copy writes field Entries of //pclass:immutable type def\.Expanded`
+}
+
+// read-only access and construction are fine.
+func (e *engine) read() int {
+	ex := def.Build(4)
+	return ex.Entries[0] + e.ex.N + len(e.ex.Parent)
+}
+
+// detach shows the sanctioned escape: after a copy-on-write clone the
+// engine owns the storage it writes.
+func (e *engine) detach(v int) {
+	owned := &def.Expanded{
+		Entries: append([]int(nil), e.ex.Entries...),
+		Parent:  e.ex.Parent,
+		N:       e.ex.N,
+	}
+	owned.Entries[0] = v //pclass:allow-mutate private copy-on-write clone
+	e.ex = owned
+}

@@ -1,0 +1,84 @@
+package locksafe
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+type cache struct {
+	shards []shard
+}
+
+type counters struct {
+	hits int
+	mu   sync.RWMutex
+}
+
+// byValue passes a lock-bearing struct by value.
+func byValue(s shard) int { // want `passes .*shard by value; it contains sync\.Mutex`
+	return len(s.entries)
+}
+
+// valueReturn returns a lock-bearing struct by value.
+func valueReturn() counters { // want `passes counters by value; it contains sync\.RWMutex`
+	return counters{}
+}
+
+// copies dereferences and ranges over lock-bearing values.
+func copies(c *cache, s *shard) {
+	local := *s // want `assignment copies a value containing sync\.Mutex`
+	_ = local
+	for _, sh := range c.shards { // want `range value copies a value containing sync\.Mutex`
+		_ = sh
+	}
+	for i := range c.shards { // ranging by index is the fix
+		c.shards[i].mu.Lock()
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// deferLoop holds every shard's lock until function return.
+func deferLoop(c *cache) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		defer s.mu.Unlock() // want `defer s\.mu\.Unlock\(\) inside a loop`
+	}
+}
+
+func classify(v int) int      { return v }
+func classifyBatch(v int) int { return v }
+
+// lockedClassify calls the engine while holding a shard lock.
+func lockedClassify(s *shard) int {
+	s.mu.Lock()
+	r := classify(1) // want `calls classify while holding lock s\.mu`
+	s.mu.Unlock()
+	r += classify(2) // after the unlock: fine
+	return r
+}
+
+// deferredClassify holds the lock for the whole function body.
+func deferredClassify(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return classifyBatch(3) // want `calls classifyBatch while holding lock s\.mu`
+}
+
+// branchClassify takes the lock inside one branch only.
+func branchClassify(s *shard, b bool) int {
+	if b {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	return classify(4) // lock released in every path: fine
+}
+
+// allowListed is the sanctioned escape for a deliberate call under lock.
+func allowListed(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return classify(5) //pclass:allow-lock single-threaded rebuild path
+}

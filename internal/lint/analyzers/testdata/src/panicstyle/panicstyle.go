@@ -1,0 +1,45 @@
+package panicstyle
+
+import (
+	"errors"
+	"fmt"
+)
+
+const prefix = "panicstyle: bad state: "
+
+func good(n int) {
+	if n < 0 {
+		panic("panicstyle: negative length")
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("panicstyle: odd length %d", n))
+	}
+	if n == 2 {
+		panic(prefix + errors.New("two").Error())
+	}
+	if n == 3 {
+		panic("panicstyle: " + fmt.Sprint(n))
+	}
+}
+
+func bad(n int, err error) {
+	if err != nil {
+		panic(err) // want `panic message must be a constant-prefixed "panicstyle: " string`
+	}
+	if n < 0 {
+		panic("negative length") // want `panic message must be a constant-prefixed "panicstyle: " string`
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("odd length %d", n)) // want `panic message must be a constant-prefixed "panicstyle: " string`
+	}
+	if n == 2 {
+		panic(errors.New("panicstyle: boxed").Error() + "x") // want `panic message must be a constant-prefixed "panicstyle: " string`
+	}
+}
+
+// allowListed is the sanctioned escape for a deliberately bare panic.
+func allowListed(err error) {
+	if err != nil {
+		panic(err) //pclass:allow-panic rethrow in recover-based control flow
+	}
+}

@@ -1,0 +1,192 @@
+// Package facts defines the per-package annotation facts pclasslint
+// exchanges between compilation units.
+//
+// The engine-room invariants the analyzers enforce are declared with
+// magic comments in the source ("annotations"):
+//
+//	//pclass:hotpath    on a function: the body may not allocate
+//	//pclass:immutable  on a type: no field writes outside its package
+//	//pclass:exhaustive on an interface: type switches need a default
+//	//pclass:exhaustive on a const enum type: switches must cover it
+//
+// Annotations on exported types must be visible to analyses of the
+// packages that import them, but an importing compilation unit only sees
+// the defining package's export data, not its comments. Scan therefore
+// distills each package's annotations into a Package value, which the
+// vettool driver serializes into the unit's .vetx facts file; go vet
+// hands dependency facts files back when analyzing importers — the same
+// mechanism golang.org/x/tools/go/analysis uses for its facts, carrying
+// our single package-level fact type instead.
+package facts
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Prefix starts every pclass annotation comment.
+const Prefix = "//pclass:"
+
+// Member is one package-level constant of an exhaustive enum type.
+type Member struct {
+	Name string
+	// Value is the constant's exact value (constant.Value.ExactString),
+	// so aliases with equal values count as covering the same member.
+	Value string
+	// Exported members are the only ones switches outside the defining
+	// package are required to cover.
+	Exported bool
+}
+
+// Package holds the annotation facts of one package.
+type Package struct {
+	// Immutable lists type names declared //pclass:immutable.
+	Immutable []string
+	// ExhaustiveIfaces lists interface type names declared
+	// //pclass:exhaustive.
+	ExhaustiveIfaces []string
+	// ExhaustiveEnums maps a //pclass:exhaustive enum type name to its
+	// package-level constant members.
+	ExhaustiveEnums map[string][]Member
+}
+
+// Empty reports whether the package declares no facts.
+func (p *Package) Empty() bool {
+	return p == nil || len(p.Immutable) == 0 && len(p.ExhaustiveIfaces) == 0 && len(p.ExhaustiveEnums) == 0
+}
+
+// HasImmutable reports whether name is an //pclass:immutable type.
+func (p *Package) HasImmutable(name string) bool {
+	return p != nil && contains(p.Immutable, name)
+}
+
+// HasExhaustiveIface reports whether name is a //pclass:exhaustive
+// interface.
+func (p *Package) HasExhaustiveIface(name string) bool {
+	return p != nil && contains(p.ExhaustiveIfaces, name)
+}
+
+// EnumMembers returns the members of a //pclass:exhaustive enum type, or
+// nil when name is not one.
+func (p *Package) EnumMembers(name string) []Member {
+	if p == nil {
+		return nil
+	}
+	return p.ExhaustiveEnums[name]
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode serializes the facts for a .vetx file.
+func (p *Package) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("facts: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes facts written by Encode. Empty input decodes to
+// empty facts (a dependency analyzed before it declared any).
+func Decode(data []byte) (*Package, error) {
+	p := new(Package)
+	if len(data) == 0 {
+		return p, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(p); err != nil {
+		return nil, fmt.Errorf("facts: decode: %w", err)
+	}
+	return p, nil
+}
+
+// Annotated reports whether the comment group carries the given
+// annotation (e.g. name "immutable" matches a "//pclass:immutable" line;
+// trailing text after the annotation word is allowed).
+func Annotated(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, Prefix); ok {
+			if text == name || strings.HasPrefix(text, name+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Scan collects the annotation facts declared in one package's files.
+// info.Defs must be populated (it resolves annotated TypeSpecs to their
+// type objects so enum members can be matched by type identity).
+func Scan(files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	out := &Package{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The annotation may sit on the grouped decl or the spec.
+				immutable := Annotated(gd.Doc, "immutable") || Annotated(ts.Doc, "immutable")
+				exhaustive := Annotated(gd.Doc, "exhaustive") || Annotated(ts.Doc, "exhaustive")
+				if !immutable && !exhaustive {
+					continue
+				}
+				obj, _ := info.Defs[ts.Name].(*types.TypeName)
+				if obj == nil {
+					continue
+				}
+				if immutable {
+					out.Immutable = append(out.Immutable, obj.Name())
+				}
+				if exhaustive {
+					if types.IsInterface(obj.Type()) {
+						out.ExhaustiveIfaces = append(out.ExhaustiveIfaces, obj.Name())
+					} else {
+						if out.ExhaustiveEnums == nil {
+							out.ExhaustiveEnums = make(map[string][]Member)
+						}
+						out.ExhaustiveEnums[obj.Name()] = enumMembers(pkg, obj)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enumMembers lists the package-level constants whose type is exactly the
+// enum's named type, in declaration-name order (scope order is sorted).
+func enumMembers(pkg *types.Package, enum *types.TypeName) []Member {
+	var out []Member
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || types.Unalias(c.Type()) != enum.Type() {
+			continue
+		}
+		out = append(out, Member{
+			Name:     c.Name(),
+			Value:    c.Val().ExactString(),
+			Exported: c.Exported(),
+		})
+	}
+	return out
+}

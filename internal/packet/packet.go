@@ -58,6 +58,8 @@ type Header struct {
 type Key [KeyBytes]byte
 
 // Key packs the header into its canonical 104-bit key.
+//
+//pclass:hotpath
 func (h Header) Key() Key {
 	var k Key
 	k[0] = byte(h.SIP >> 24)
@@ -114,6 +116,8 @@ func (k Key) Stride(off, kbits int) int {
 // It is the batched-datapath form of Stride: the 104 key bits are loaded
 // into two machine words once and each stage address is a pair of shifts,
 // instead of ceil(W/k) independent bit-by-bit extractions.
+//
+//pclass:hotpath
 func (k Key) StridesInto(kbits int, dst []int) {
 	stages := NumStrides(kbits)
 	if len(dst) < stages {

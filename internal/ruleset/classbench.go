@@ -179,7 +179,7 @@ func drawPrefix(rng *rand.Rand, hist [33]float64) Prefix {
 	l := drawIndex(rng, hist[:])
 	p, err := NewPrefix(rng.Uint32(), 32, l)
 	if err != nil {
-		panic(err)
+		panic("ruleset: drawn prefix invalid: " + err.Error())
 	}
 	return p
 }

@@ -9,6 +9,8 @@ import (
 // under study are ruleset-feature independent, so the profiles exist to
 // prove exactly that: costs must come out identical across profiles for
 // equal N.
+//
+//pclass:exhaustive switches must cover every profile or panic
 type Profile int
 
 const (
@@ -84,7 +86,7 @@ func randPrefix(rng *rand.Rand, minLen, maxLen int) Prefix {
 	l := minLen + rng.Intn(maxLen-minLen+1)
 	p, err := NewPrefix(rng.Uint32(), 32, l)
 	if err != nil {
-		panic(err)
+		panic("ruleset: generated prefix invalid: " + err.Error())
 	}
 	return p
 }

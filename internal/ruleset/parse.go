@@ -164,7 +164,7 @@ func (rs *RuleSet) Write(w io.Writer) error {
 func (rs *RuleSet) MarshalText() string {
 	var sb strings.Builder
 	if err := rs.Write(&sb); err != nil {
-		panic(err) // strings.Builder cannot fail
+		panic("ruleset: marshal: " + err.Error()) // strings.Builder cannot fail
 	}
 	return sb.String()
 }

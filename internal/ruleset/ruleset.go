@@ -7,6 +7,12 @@ import (
 )
 
 // RuleSet is an ordered classifier: index 0 is the highest-priority rule.
+//
+// A built RuleSet is shared read-only between the serving snapshot and
+// every engine constructed over it; mutate a Clone (see update.ApplyToRuleSet)
+// or carry an //pclass:allow-mutate escape at an audited write.
+//
+//pclass:immutable shared across classifier goroutines after construction
 type RuleSet struct {
 	Rules []Rule
 }
@@ -65,6 +71,8 @@ func (rs *RuleSet) AllMatches(h packet.Header) []int {
 // (rule × port-prefix cross product) with a map back to the parent rule.
 // Both hardware engines operate on this representation; Parent converts an
 // entry-level match back into a rule-level result.
+//
+//pclass:immutable engines share one expansion; copy-on-write before updating
 type Expanded struct {
 	Entries []Ternary
 	// Parent[i] is the rule index entry i was expanded from. Entries of the
@@ -138,7 +146,7 @@ func SampleRuleSet() *RuleSet {
 	mustPrefix := func(s string) Prefix {
 		p, err := ParseIPv4Prefix(s)
 		if err != nil {
-			panic(err)
+			panic("ruleset: sample prefix invalid: " + err.Error())
 		}
 		return p
 	}

@@ -243,6 +243,10 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// worker drains one shard queue, classifying each batch against the
+// engine version loaded once at batch start.
+//
+//pclass:hotpath
 func (s *Service) worker(shard chan *Pending) {
 	defer s.wg.Done()
 	// range drains everything still queued after Close closes the shard:

@@ -208,6 +208,8 @@ func (e *RangeEngine) MatchVector(h packet.Header) bitvec.Vector {
 }
 
 // matchInto computes the match vector into sc.acc and returns it.
+//
+//pclass:hotpath
 func (e *RangeEngine) matchInto(h packet.Header, sc *scratchState) bitvec.Vector {
 	key := prefixKey(h)
 	prefixStridesInto(key, e.k, sc.addrs)
@@ -228,6 +230,8 @@ func (e *RangeEngine) matchInto(h packet.Header, sc *scratchState) bitvec.Vector
 }
 
 // Classify returns the highest-priority matching rule index, or -1.
+//
+//pclass:hotpath
 func (e *RangeEngine) Classify(h packet.Header) int {
 	sc := e.getScratch()
 	r := e.matchInto(h, sc).FirstSet()
@@ -238,6 +242,8 @@ func (e *RangeEngine) Classify(h packet.Header) int {
 // ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
 // path), reusing one scratch workspace for the whole batch. Safe for
 // concurrent use.
+//
+//pclass:hotpath
 func (e *RangeEngine) ClassifyBatch(hdrs []packet.Header, out []int) {
 	sc := e.getScratch()
 	for i, h := range hdrs {

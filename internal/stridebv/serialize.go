@@ -97,6 +97,7 @@ func ReadImage(r io.Reader) (*Engine, error) {
 		if p < 0 || p >= numRules {
 			return nil, fmt.Errorf("stridebv: parent %d out of range", p)
 		}
+		//pclass:allow-mutate filling a freshly decoded, not-yet-shared expansion
 		ex.Parent[i] = p
 	}
 	e := &Engine{ex: ex, k: k, stages: stages, ne: ne}

@@ -164,6 +164,8 @@ func (e *Engine) MatchVector(key packet.Key) bitvec.Vector {
 // a pair of machine words) rather than bit-by-bit per stage, and the stage-0
 // memory word is copied into the scratch accumulator instead of cloned — the
 // two changes that make the lookup loop allocation-free.
+//
+//pclass:hotpath
 func (e *Engine) matchInto(key packet.Key, sc *scratchState) bitvec.Vector {
 	key.StridesInto(e.k, sc.addrs)
 	acc := sc.acc
@@ -175,6 +177,8 @@ func (e *Engine) matchInto(key packet.Key, sc *scratchState) bitvec.Vector {
 }
 
 // Classify returns the highest-priority matching rule index, or -1.
+//
+//pclass:hotpath
 func (e *Engine) Classify(h packet.Header) int {
 	sc := e.getScratch()
 	entry := e.matchInto(h.Key(), sc).FirstSet()
@@ -189,6 +193,8 @@ func (e *Engine) Classify(h packet.Header) int {
 // path): one scratch workspace serves the whole batch, so the steady-state
 // per-packet cost is the stage-memory ANDs and a first-set scan, with zero
 // allocations. Safe for concurrent use.
+//
+//pclass:hotpath
 func (e *Engine) ClassifyBatch(hdrs []packet.Header, out []int) {
 	sc := e.getScratch()
 	for i, h := range hdrs {
@@ -221,6 +227,7 @@ func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
 		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
 	}
 	e.ensureOwnedEntries()
+	//pclass:allow-mutate the entry table is owned post copy-on-write
 	e.ex.Entries[j] = entry
 	e.writeEntry(j, entry)
 	return nil

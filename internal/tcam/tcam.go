@@ -35,6 +35,8 @@ func (t *Behavioral) NumEntries() int { return t.ex.Len() }
 
 // Classify returns the highest-priority matching rule index, or -1.
 // This is the priority-encoder output of a hardware TCAM.
+//
+//pclass:hotpath
 func (t *Behavioral) Classify(h packet.Header) int {
 	return t.ex.FirstMatch(h.Key())
 }
@@ -42,6 +44,8 @@ func (t *Behavioral) Classify(h packet.Header) int {
 // ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
 // path): one pass over the batch with no per-packet interface dispatch or
 // allocation. Safe for concurrent use — a search only reads the entry table.
+//
+//pclass:hotpath
 func (t *Behavioral) ClassifyBatch(hdrs []packet.Header, out []int) {
 	for i, h := range hdrs {
 		out[i] = t.ex.FirstMatch(h.Key())

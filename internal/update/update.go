@@ -80,6 +80,7 @@ func ApplyToStrideBV(eng *stridebv.Engine, rs *ruleset.RuleSet, ops []Op) (Cost,
 		if len(entries) != 1 {
 			return Cost{}, fmt.Errorf("update: replacement expands to %d entries, want 1", len(entries))
 		}
+		//pclass:allow-mutate in-place update path: the caller owns this ruleset
 		rs.Rules[op.Index] = op.Rule
 		if err := eng.UpdateEntry(op.Index, entries[0]); err != nil {
 			return Cost{}, err
@@ -103,6 +104,7 @@ func ApplyToTCAM(fp *tcam.FPGA, rs *ruleset.RuleSet, ops []Op) (Cost, error) {
 		if len(entries) != 1 {
 			return Cost{}, fmt.Errorf("update: replacement expands to %d entries, want 1", len(entries))
 		}
+		//pclass:allow-mutate in-place update path: the caller owns this ruleset
 		rs.Rules[op.Index] = op.Rule
 		cycles, err := fp.Write(op.Index, entries[0])
 		if err != nil {
@@ -130,6 +132,7 @@ func ApplyToRuleSet(rs *ruleset.RuleSet, ops []Op) (*ruleset.RuleSet, error) {
 		if op.Index < 0 || op.Index >= out.Len() {
 			return nil, fmt.Errorf("update: index %d out of range [0,%d)", op.Index, out.Len())
 		}
+		//pclass:allow-mutate writing the private clone, not the shared input
 		out.Rules[op.Index] = op.Rule
 	}
 	return out, nil
