@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pktclass/internal/cli"
+	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/serve"
@@ -45,6 +46,8 @@ func runServe(args []string) {
 		measure     = fs.Bool("measure", false, "replay the trace once under continuous churn and report throughput degradation")
 		swaps       = fs.Int("swaps", 0, "bound on hot-swaps in -measure mode (0 = churn for the whole replay)")
 		seed        = fs.Int64("seed", 1, "deterministic seed for traces and update streams")
+		obsvAddr    = fs.String("obsv", "", "observability HTTP address (e.g. :9090): /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
+		sample      = fs.Int("sample", 0, "sampled packet tracing: record 1 in N packets hop by hop (0 disables)")
 	)
 	fs.Parse(args)
 	if *rulesPath == "" {
@@ -64,6 +67,14 @@ func runServe(args []string) {
 	}
 	build := cli.EngineBuilder(*engine, *stride)
 
+	// Observability is on whenever either flag asks for it: -obsv alone
+	// serves histograms and pprof, -sample alone records traces for the
+	// end-of-run report.
+	var obs *obsv.Obs
+	if *obsvAddr != "" || *sample > 0 {
+		obs = newObs(*sample)
+	}
+
 	if *measure {
 		res, err := sim.ServeTrace(rs, build, hdrs, sim.ServeConfig{
 			Workers:      *workers,
@@ -74,6 +85,7 @@ func runServe(args []string) {
 			CacheEntries: *cacheN,
 			Churn:        true,
 			Seed:         *seed,
+			Obs:          obs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -85,6 +97,9 @@ func runServe(args []string) {
 		fmt.Printf("degradation      %.1f%%\n", res.DegradationPct)
 		fmt.Printf("backpressure     %d resubmits\n", res.Resubmits)
 		fmt.Print(res.Counters.Table())
+		if obs != nil {
+			printObsSummary(obs)
+		}
 		return
 	}
 
@@ -93,9 +108,22 @@ func runServe(args []string) {
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
 		Seed:         *seed,
+		Obs:          obs,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *obsvAddr != "" {
+		obsSrv, bound, err := startObsServer(*obsvAddr, obs, svc)
+		if err != nil {
+			log.Fatalf("obsv server: %v", err)
+		}
+		fmt.Printf("observability    http://%s/{metrics,statusz,tracez,debug/pprof}\n", bound)
+		defer func() {
+			shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer shCancel()
+			obsSrv.Shutdown(shCtx)
+		}()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -164,6 +192,9 @@ func runServe(args []string) {
 	fmt.Printf("throughput       %.0f pkt/s\n", float64(total.Load())/duration.Seconds())
 	fmt.Printf("client retries   %d\n", retries.Load())
 	fmt.Print(svc.Counters().Table())
+	if obs != nil {
+		printObsSummary(obs)
+	}
 }
 
 // traceSpec parameterizes generated load: packet count plus the skew knobs

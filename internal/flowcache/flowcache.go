@@ -45,8 +45,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pktclass/internal/metrics"
+	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
 )
 
@@ -95,6 +97,7 @@ type Stats struct {
 	StaleDrops int64 // retired-generation entries displaced or probed over
 	Entries    int   // fixed capacity
 	Shards     int
+	Generation uint64 // newest generation handed out (0 before any build)
 }
 
 // HitRate is hits over lookups, 0 with no traffic.
@@ -115,6 +118,7 @@ func (s Stats) Table() *metrics.Table {
 	t.AddRow("hit rate", fmt.Sprintf("%.1f%%", 100*s.HitRate()))
 	t.AddRow("evictions", fmt.Sprint(s.Evictions))
 	t.AddRow("stale drops", fmt.Sprint(s.StaleDrops))
+	t.AddRow("generation", fmt.Sprint(s.Generation))
 	return t
 }
 
@@ -132,8 +136,21 @@ type Cache struct {
 	evictions  metrics.Counter
 	staleDrops metrics.Counter
 
+	// probeHist, when set, records the batched probe phase's wall time (one
+	// sample per batch, observed after every shard lock is released so the
+	// histogram update never runs under a shard mutex).
+	probeHist atomic.Pointer[obsv.Histogram]
+
 	scratch sync.Pool // *batchScratch
 }
+
+// SetProbeHistogram directs probe-phase latency into h (nil disables).
+// Safe to call while traffic is flowing.
+func (c *Cache) SetProbeHistogram(h *obsv.Histogram) { c.probeHist.Store(h) }
+
+// ShardIndex maps a key to the shard that stores it, for trace records and
+// per-shard reporting.
+func (c *Cache) ShardIndex(key packet.Key) int { return c.shardOf(Hash(key)) }
 
 // New builds a fixed-capacity cache. The zero Config selects 1<<16 entries
 // across 8 shards.
@@ -184,6 +201,7 @@ func (c *Cache) Stats() Stats {
 		StaleDrops: c.staleDrops.Value(),
 		Entries:    c.Entries(),
 		Shards:     len(c.shards),
+		Generation: c.gen.Load(),
 	}
 }
 
@@ -405,7 +423,15 @@ func (c *Cache) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, c
 		fill[s]++
 	}
 
-	// Probe phase: one lock per touched shard.
+	// Probe phase: one lock per touched shard. The probe histogram sees the
+	// whole phase as one sample, observed only after the last shard lock is
+	// dropped — a per-lookup observation would put the histogram update
+	// inside the mutex hold.
+	probeHist := c.probeHist.Load()
+	var probeStart time.Time
+	if probeHist != nil {
+		probeStart = time.Now()
+	}
 	hits := 0
 	for si := range c.shards {
 		lo, hi := starts[si], starts[si+1]
@@ -423,6 +449,9 @@ func (c *Cache) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, c
 			}
 		}
 		s.mu.Unlock()
+	}
+	if probeHist != nil {
+		probeHist.Observe(time.Since(probeStart))
 	}
 	c.hits.Add(int64(hits))
 	c.misses.Add(int64(n - hits))

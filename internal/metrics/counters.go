@@ -31,12 +31,25 @@ type Gauge struct {
 	max atomic.Int64
 }
 
-// Set stores the value and raises the high-water mark when exceeded.
+// Set stores the value and raises the high-water mark when exceeded. The
+// mark is raised with a CAS loop *before* the value is stored, so a
+// concurrent snapshot can never observe Value() > Max(): once a value is
+// visible, the mark already covers it.
 func (g *Gauge) Set(v int64) {
+	raiseMax(&g.max, v)
 	g.v.Store(v)
+}
+
+// raiseMax lifts *max to at least v with a CAS loop, the lock-free
+// high-water update shared by Gauge and LatencyCounter. A plain
+// load-compare-store here would let two racing writers each observe the
+// old mark and the smaller one win the final store — the mark must only
+// ever move up, so losing the CAS means re-reading a mark some other
+// writer raised.
+func raiseMax(max *atomic.Int64, v int64) {
 	for {
-		m := g.max.Load()
-		if v <= m || g.max.CompareAndSwap(m, v) {
+		m := max.Load()
+		if v <= m || max.CompareAndSwap(m, v) {
 			return
 		}
 	}
@@ -60,12 +73,7 @@ func (l *LatencyCounter) Observe(d time.Duration) {
 	n := int64(d)
 	l.total.Add(n)
 	l.count.Add(1)
-	for {
-		m := l.max.Load()
-		if n <= m || l.max.CompareAndSwap(m, n) {
-			return
-		}
-	}
+	raiseMax(&l.max, n)
 }
 
 // Count returns the number of samples.
@@ -86,11 +94,15 @@ func (l *LatencyCounter) Mean() time.Duration {
 	return time.Duration(l.total.Load() / c)
 }
 
-// Registry is a named set of counters, safe for concurrent registration
-// and lookup. The zero value is ready to use.
+// Registry is a named set of counters, gauges and latency counters, safe
+// for concurrent registration and lookup. The zero value is ready to use.
+// Names are namespaced per instrument kind, so a counter and a gauge may
+// share a name without colliding.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	latencies map[string]*LatencyCounter
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -108,28 +120,116 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current name→value map.
-func (r *Registry) Snapshot() map[string]int64 {
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters))
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Latency returns the named latency counter, creating it on first use.
+func (r *Registry) Latency(name string) *LatencyCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.latencies == nil {
+		r.latencies = make(map[string]*LatencyCounter)
+	}
+	l, ok := r.latencies[name]
+	if !ok {
+		l = &LatencyCounter{}
+		r.latencies[name] = l
+	}
+	return l
+}
+
+// GaugeSnapshot is one gauge's point-in-time reading.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// LatencySnapshot is one latency counter's point-in-time reading.
+type LatencySnapshot struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// RegistrySnapshot is a point-in-time view of every registered instrument
+// — counters, gauges and latency counters alike, read in one pass under
+// the registration lock so a single snapshot is internally coherent (no
+// instrument registered mid-snapshot appears in one section but not
+// another).
+type RegistrySnapshot struct {
+	Counters  map[string]int64           `json:"counters"`
+	Gauges    map[string]GaugeSnapshot   `json:"gauges"`
+	Latencies map[string]LatencySnapshot `json:"latencies"`
+}
+
+// Snapshot captures every registered instrument. Earlier revisions only
+// snapshotted plain counters, so gauge high-water marks and latency
+// aggregates silently fell out of every report built on the registry;
+// now the one snapshot is the single source for tables, /statusz and the
+// exposition surface.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RegistrySnapshot{
+		Counters:  make(map[string]int64, len(r.counters)),
+		Gauges:    make(map[string]GaugeSnapshot, len(r.gauges)),
+		Latencies: make(map[string]LatencySnapshot, len(r.latencies)),
+	}
 	for name, c := range r.counters {
-		out[name] = c.Value()
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		// Value read before Max: Set raises the mark before storing the
+		// value, so any value this read observes is already covered by the
+		// mark, and the snapshot entry always satisfies Max >= Value.
+		v := g.Value()
+		out.Gauges[name] = GaugeSnapshot{Value: v, Max: g.Max()}
+	}
+	for name, l := range r.latencies {
+		out.Latencies[name] = LatencySnapshot{Count: l.Count(), Total: l.Total(), Mean: l.Mean(), Max: l.Max()}
 	}
 	return out
 }
 
-// Table renders the registry as a sorted fixed-width counter table.
+// Table renders the full snapshot as a sorted fixed-width table: plain
+// counters by name, gauges as name / name.max, latency counters as
+// name.count / name.mean / name.max.
 func (r *Registry) Table(title string) *Table {
 	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
+	rows := make(map[string]string, len(snap.Counters)+3*len(snap.Gauges))
+	for name, v := range snap.Counters {
+		rows[name] = strconv.FormatInt(v, 10)
+	}
+	for name, g := range snap.Gauges {
+		rows[name] = strconv.FormatInt(g.Value, 10)
+		rows[name+".max"] = strconv.FormatInt(g.Max, 10)
+	}
+	for name, l := range snap.Latencies {
+		rows[name+".count"] = strconv.FormatInt(l.Count, 10)
+		rows[name+".mean"] = l.Mean.String()
+		rows[name+".max"] = l.Max.String()
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	t := &Table{Title: title, Headers: []string{"counter", "value"}}
 	for _, name := range names {
-		t.AddRow(name, strconv.FormatInt(snap[name], 10))
+		t.AddRow(name, rows[name])
 	}
 	return t
 }

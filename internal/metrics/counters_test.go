@@ -3,6 +3,7 @@ package metrics
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -79,8 +80,8 @@ func TestRegistry(t *testing.T) {
 	r.Counter("packets").Add(2) // same counter, not a new one
 	r.Counter("drops").Inc()
 	snap := r.Snapshot()
-	if snap["packets"] != 7 || snap["drops"] != 1 {
-		t.Fatalf("snapshot = %v", snap)
+	if snap.Counters["packets"] != 7 || snap.Counters["drops"] != 1 {
+		t.Fatalf("snapshot = %v", snap.Counters)
 	}
 	out := r.Table("live").String()
 	if !strings.Contains(out, "live") || !strings.Contains(out, "packets") || !strings.Contains(out, "7") {
@@ -89,6 +90,90 @@ func TestRegistry(t *testing.T) {
 	// drops sorts before packets.
 	if strings.Index(out, "drops") > strings.Index(out, "packets") {
 		t.Fatalf("rows not sorted:\n%s", out)
+	}
+}
+
+func TestRegistrySnapshotIncludesGaugesAndLatencies(t *testing.T) {
+	var r Registry
+	r.Counter("packets").Add(3)
+	r.Gauge("depth").Set(7)
+	r.Gauge("depth").Set(4)
+	r.Latency("swap").Observe(10 * time.Millisecond)
+	r.Latency("swap").Observe(20 * time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Counters["packets"] != 3 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	g, ok := snap.Gauges["depth"]
+	if !ok || g.Value != 4 || g.Max != 7 {
+		t.Fatalf("gauge snapshot = %+v (ok=%v)", g, ok)
+	}
+	l, ok := snap.Latencies["swap"]
+	if !ok || l.Count != 2 || l.Mean != 15*time.Millisecond || l.Max != 20*time.Millisecond {
+		t.Fatalf("latency snapshot = %+v (ok=%v)", l, ok)
+	}
+	// The rendered table carries every instrument kind, not just counters
+	// (the old Snapshot dropped gauges and latency counters, so /statusz
+	// and replay reports disagreed on what the service had done).
+	out := r.Table("all").String()
+	for _, want := range []string{"packets", "depth", "depth.max", "swap.count", "swap.mean", "swap.max"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Same name, different kinds: no collision.
+	if r.Counter("depth").Value() != 0 {
+		t.Fatal("counter/gauge namespace collision")
+	}
+}
+
+// TestGaugeMaxNeverUndercounts races writers against a reader: because Set
+// raises the high-water mark before storing the value, no observer may
+// ever see Value() > Max(), and the final mark must equal the largest
+// value any writer stored.
+func TestGaugeMaxNeverUndercounts(t *testing.T) {
+	var g Gauge
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	var undercounts atomic.Int64
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Order matters the same way Registry.Snapshot reads: the
+				// value first, then the mark that must already cover it.
+				v := g.Value()
+				if m := g.Max(); m < v {
+					undercounts.Add(1)
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				g.Set(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if n := undercounts.Load(); n != 0 {
+		t.Fatalf("observed Max() < Value() %d times", n)
+	}
+	if want := int64(writers*perWriter - 1); g.Max() != want {
+		t.Fatalf("final max = %d, want %d", g.Max(), want)
 	}
 }
 
@@ -107,5 +192,40 @@ func TestRegistryConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("shared").Value(); got != 4000 {
 		t.Fatalf("shared = %d", got)
+	}
+}
+
+// TestRegistryConcurrentRegistration races first-use registration itself
+// across every instrument kind: 16 goroutines all asking for the same 8
+// names must converge on one instrument per (kind, name) with no lost
+// increments — the obsv exposition layer registers lazily from scrape
+// handlers while the serving path registers from New.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	var r Registry
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, name := range names {
+				r.Counter(name).Inc()
+				r.Gauge(name).Set(int64(w*len(names) + i))
+				r.Latency(name).Observe(time.Duration(i+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	for _, name := range names {
+		if got := snap.Counters[name]; got != 16 {
+			t.Fatalf("counter %q = %d, want 16 (a racing registration dropped increments)", name, got)
+		}
+		if got := snap.Latencies[name].Count; got != 16 {
+			t.Fatalf("latency %q count = %d, want 16", name, got)
+		}
+		if r.Counter(name) != r.Counter(name) || r.Gauge(name) != r.Gauge(name) || r.Latency(name) != r.Latency(name) {
+			t.Fatalf("%q resolves to different instruments across calls", name)
+		}
 	}
 }

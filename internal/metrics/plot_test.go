@@ -44,6 +44,70 @@ func TestASCIIPlotEmpty(t *testing.T) {
 	}
 }
 
+// histogramFigure mirrors the shape obsv.HistSnapshot.Figure produces (this
+// package can't import obsv without a cycle): one "count" series whose N
+// axis is log-spaced bucket upper bounds in nanoseconds, spanning the six
+// orders of magnitude between a cache probe and a hot-swap.
+func histogramFigure() *Figure {
+	f := NewFigure("serve.classify_batch", "samples")
+	s := f.AddSeries("count")
+	for i, upper := range []int{64, 512, 4096, 32768, 262144, 2097152, 16777216} {
+		// A latency histogram's usual shape: a tall body and a thin tail.
+		s.Add(upper, float64([]int{3, 40, 900, 4100, 350, 12, 1}[i]))
+	}
+	return f
+}
+
+func TestASCIIPlotHistogramSeries(t *testing.T) {
+	f := histogramFigure()
+	s := f.ASCIIPlot(12)
+	if !strings.Contains(s, "serve.classify_batch") || !strings.Contains(s, "count") {
+		t.Fatalf("histogram plot missing pieces:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	// Only the modal bucket (4100 samples) reaches the top row; the tail
+	// buckets must still be visible somewhere above the axis.
+	if n := strings.Count(lines[1], "*"); n != 1 {
+		t.Fatalf("top row has %d bars, want only the modal bucket:\n%s", n, s)
+	}
+	bottom := lines[len(lines)-5] // last grid row before the axis
+	if n := strings.Count(bottom, "*"); n != 7 {
+		t.Fatalf("bottom row shows %d of 7 buckets:\n%s", n, s)
+	}
+	// Bucket-upper labels on the axis get truncated to the column width
+	// (2 for a single series) rather than colliding.
+	axis := lines[len(lines)-3]
+	if len(axis) > 10+2*7 {
+		t.Fatalf("axis row wider than 7 two-char columns: %q", axis)
+	}
+}
+
+func TestLogASCIIPlotHistogramSeries(t *testing.T) {
+	// Counts spanning 1..4100 flatten to near-invisibility on a linear
+	// scale; the log plot must keep the thin-tail buckets visible. The
+	// smallest count defines the log floor and renders at zero height, so
+	// 6 of the 7 buckets show on the bottom row.
+	f := histogramFigure()
+	s := f.LogASCIIPlot(8)
+	if !strings.Contains(s, "log scale") {
+		t.Fatalf("histogram figure not log scaled:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	bottom := lines[len(lines)-4] // last grid row before the axis
+	if n := strings.Count(bottom, "*"); n != 6 {
+		t.Fatalf("log plot bottom row shows %d of 7 buckets, want 6 (floor bucket at zero height):\n%s", n, s)
+	}
+}
+
+func TestHistogramFigureMarkdown(t *testing.T) {
+	md := histogramFigure().Markdown()
+	for _, want := range []string{"**serve.classify_batch**", "| count |", "| 4096 |", "4100"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
 func TestLogASCIIPlot(t *testing.T) {
 	f := NewFigure("log demo", "mW/Gbps")
 	a := f.AddSeries("huge")

@@ -1,0 +1,131 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+
+	"pktclass/internal/metrics"
+)
+
+// Registry is the exposition root: the base metrics registry's counters,
+// gauges and latency counters plus this package's histograms, all
+// addressable by name. Safe for concurrent registration and lookup; the
+// instruments themselves are lock-free.
+type Registry struct {
+	mu    sync.Mutex
+	base  *metrics.Registry
+	hists map[string]*Histogram
+}
+
+// NewRegistry wraps base (nil allocates a fresh metrics registry).
+func NewRegistry(base *metrics.Registry) *Registry {
+	if base == nil {
+		base = &metrics.Registry{}
+	}
+	return &Registry{base: base}
+}
+
+// Base returns the wrapped metrics registry (counters, gauges, latency
+// counters).
+func (r *Registry) Base() *metrics.Registry { return r.base }
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every registered instrument.
+type Snapshot struct {
+	Metrics    metrics.RegistrySnapshot `json:"metrics"`
+	Histograms map[string]HistSnapshot  `json:"histograms"`
+}
+
+// Snapshot captures the base registry and every histogram.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	s := Snapshot{
+		Metrics:    r.base.Snapshot(),
+		Histograms: make(map[string]HistSnapshot, len(hists)),
+	}
+	for name, h := range hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// histNames returns the registered histogram names, sorted.
+func (r *Registry) histNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Obs bundles the wired instrument set the serving stack records into: the
+// registry every instrument is exported from, the sampled packet tracer,
+// and the named histograms of the hot phases. A nil *Obs disables
+// observability entirely (the serving layer carries one branch per batch).
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+
+	// SubmitWait is the queue latency: Submit accept to worker dequeue.
+	SubmitWait *Histogram
+	// ClassifyBatch is the worker's engine time per batch.
+	ClassifyBatch *Histogram
+	// CacheProbe is the flow-cache probe phase (per batch on the batched
+	// path, per lookup on the single-packet path).
+	CacheProbe *Histogram
+	// SwapBuild, SwapVerify and SwapTotal split a hot-swap into its shadow
+	// build, differential verify, and end-to-end commit phases.
+	SwapBuild  *Histogram
+	SwapVerify *Histogram
+	SwapTotal  *Histogram
+}
+
+// Histogram names the serving layer registers in its Obs registry.
+const (
+	HistSubmitWait    = "serve.submit_wait"
+	HistClassifyBatch = "serve.classify_batch"
+	HistCacheProbe    = "flowcache.probe"
+	HistSwapBuild     = "serve.swap_build"
+	HistSwapVerify    = "serve.swap_verify"
+	HistSwapTotal     = "serve.swap_total"
+)
+
+// NewObs builds the serving instrument set in reg (nil allocates a fresh
+// registry). tracer may be nil (histograms on, tracing off).
+func NewObs(reg *Registry, tracer *Tracer) *Obs {
+	if reg == nil {
+		reg = NewRegistry(nil)
+	}
+	return &Obs{
+		Reg:           reg,
+		Tracer:        tracer,
+		SubmitWait:    reg.Histogram(HistSubmitWait),
+		ClassifyBatch: reg.Histogram(HistClassifyBatch),
+		CacheProbe:    reg.Histogram(HistCacheProbe),
+		SwapBuild:     reg.Histogram(HistSwapBuild),
+		SwapVerify:    reg.Histogram(HistSwapVerify),
+		SwapTotal:     reg.Histogram(HistSwapTotal),
+	}
+}

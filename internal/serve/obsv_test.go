@@ -1,0 +1,197 @@
+package serve
+
+// End-to-end observability: a service wired with an Obs must populate the
+// submit-wait / classify-batch / cache-probe histograms from classify
+// traffic, split every hot-swap into build/verify/total phase samples,
+// register its counters in the shared registry (so /metrics and Counters
+// read the same instruments), and sample packet traces that narrate the
+// cache probe and engine stages.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/obsv"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/update"
+)
+
+func TestObservedServiceEndToEnd(t *testing.T) {
+	rs := prefixSet(t, 64, 41)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 2048, MatchFraction: 0.8, Seed: 42})
+	obs := obsv.NewObs(nil, obsv.NewTracer(1, 32))
+	svc, err := New(rs.Clone(), strideBuild, Config{
+		Workers: 2, QueueDepth: 8, CacheEntries: 1 << 10, VerifyPackets: 64, Seed: 43, Obs: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+
+	ctx := context.Background()
+	batches := 0
+	for lo := 0; lo < len(trace); lo += 128 {
+		hi := lo + 128
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		if _, err := svc.Classify(ctx, trace[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		batches++
+	}
+	cur := svc.RuleSet()
+	ops := []update.Op{{Index: 0, Rule: cur.Rules[0]}}
+	if err := svc.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every completed batch contributes exactly one sample to the
+	// submit-wait, classify-batch, and cache-probe histograms; the one swap
+	// contributes one sample to each swap phase.
+	for _, tc := range []struct {
+		name string
+		h    *obsv.Histogram
+		want int64
+	}{
+		{obsv.HistSubmitWait, obs.SubmitWait, int64(batches)},
+		{obsv.HistClassifyBatch, obs.ClassifyBatch, int64(batches)},
+		{obsv.HistCacheProbe, obs.CacheProbe, int64(batches)},
+		{obsv.HistSwapBuild, obs.SwapBuild, 1},
+		{obsv.HistSwapVerify, obs.SwapVerify, 1},
+		{obsv.HistSwapTotal, obs.SwapTotal, 1},
+	} {
+		snap := tc.h.Snapshot()
+		if snap.Count != tc.want {
+			t.Fatalf("%s: %d samples, want %d", tc.name, snap.Count, tc.want)
+		}
+		if snap.Sum < 0 || snap.Max < 0 {
+			t.Fatalf("%s: negative durations in %+v", tc.name, snap)
+		}
+	}
+
+	// The service's counters live in the Obs registry — the exposition layer
+	// and Counters() must read the same instruments.
+	if svc.Registry() != obs.Reg.Base() {
+		t.Fatal("service registry is not the Obs base registry")
+	}
+	snap := obs.Reg.Snapshot()
+	if got := snap.Metrics.Counters["serve.classified"]; got != int64(len(trace)) {
+		t.Fatalf("registry serve.classified = %d, want %d", got, len(trace))
+	}
+	if got := snap.Metrics.Counters["serve.batches"]; got != int64(batches) {
+		t.Fatalf("registry serve.batches = %d, want %d", got, batches)
+	}
+	if got := snap.Metrics.Counters["serve.swaps"]; got != 1 {
+		t.Fatalf("registry serve.swaps = %d, want 1", got)
+	}
+	lat, ok := snap.Metrics.Latencies["serve.swap"]
+	if !ok || lat.Count != 1 {
+		t.Fatalf("registry serve.swap latency = %+v, %v", lat, ok)
+	}
+	if _, ok := snap.Histograms[obsv.HistSubmitWait]; !ok {
+		t.Fatalf("registry snapshot missing %s: %v", obsv.HistSubmitWait, snap.Histograms)
+	}
+	c := svc.Counters()
+	if c.Classified != snap.Metrics.Counters["serve.classified"] {
+		t.Fatalf("Counters().Classified %d != registry %d", c.Classified, snap.Metrics.Counters["serve.classified"])
+	}
+
+	// With 1-in-1 sampling every batch traced one packet through the
+	// per-packet path: traces must have flowed through the ring, and the
+	// captured hops must include the cache probe and the engine's narration.
+	ref := core.NewLinear(rs)
+	stats := obs.Tracer.Stats()
+	if stats.Sampled == 0 {
+		t.Fatal("tracer sampled nothing at 1-in-1")
+	}
+	traces := obs.Tracer.Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("tracer ring is empty after traffic")
+	}
+	for _, tr := range traces {
+		hops := tr.HopSlice()
+		if len(hops) == 0 {
+			t.Fatalf("captured trace has no hops: %+v", tr)
+		}
+		if k := hops[0].Kind; k != obsv.HopCacheHit && k != obsv.HopCacheMiss {
+			t.Fatalf("traced service is cached, but first hop = %v", k)
+		}
+		if tr.Engine == "" {
+			t.Fatalf("captured trace has no engine name: %+v", tr)
+		}
+		// Ground the captured result against the linear reference: the
+		// test's swap replaces a rule with itself, so every engine version
+		// has the same semantics.
+		if want := ref.Classify(tr.Hdr); tr.Result != want {
+			t.Fatalf("traced result %d != reference %d for %s", tr.Result, want, tr.Hdr)
+		}
+	}
+}
+
+// TestObservedServiceSwapVerifyFailureStillTimed pins a subtle contract:
+// the verify-phase histogram observes failed verifications too, so p99
+// swap-verify latency reflects what rollbacks cost, not only successes.
+func TestObservedServiceSwapVerifyFailureStillTimed(t *testing.T) {
+	rs := prefixSet(t, 32, 44)
+	obs := obsv.NewObs(nil, nil)
+	var builds atomic.Int64
+	build := func(rs *ruleset.RuleSet) (core.Engine, error) {
+		eng, err := strideBuild(rs)
+		if err != nil {
+			return nil, err
+		}
+		if builds.Add(1) > 1 {
+			return misclassifier{eng}, nil
+		}
+		return eng, nil
+	}
+	svc, err := New(rs.Clone(), build, Config{
+		Workers: 1, VerifyPackets: 32, Seed: 45, Obs: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	cur := svc.RuleSet()
+	err = svc.ApplyOps([]update.Op{{Index: 0, Rule: cur.Rules[0]}})
+	if err == nil {
+		t.Fatal("swap with a lying engine should have rolled back")
+	}
+	if got := obs.SwapBuild.Snapshot().Count; got != 1 {
+		t.Fatalf("swap_build count = %d, want 1", got)
+	}
+	if got := obs.SwapVerify.Snapshot().Count; got != 1 {
+		t.Fatalf("swap_verify must observe the failed verification, count = %d", got)
+	}
+	if got := obs.SwapTotal.Snapshot().Count; got != 0 {
+		t.Fatalf("swap_total must only observe committed swaps, count = %d", got)
+	}
+	if got := obs.Reg.Base().Counter("serve.failed_swaps").Value(); got != 1 {
+		t.Fatalf("serve.failed_swaps = %d, want 1", got)
+	}
+}
+
+// TestUnobservedServiceStampsNothing guards the nil-Obs fast path: no enq
+// timestamps, no histogram samples, and counters live in a private
+// registry rather than a shared one.
+func TestUnobservedServiceStampsNothing(t *testing.T) {
+	rs := prefixSet(t, 32, 46)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 64, MatchFraction: 0.8, Seed: 47})
+	if _, err := svc.Classify(context.Background(), trace); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Registry() == nil {
+		t.Fatal("unobserved service still needs a private registry")
+	}
+	if got := svc.Registry().Snapshot().Counters["serve.classified"]; got != int64(len(trace)) {
+		t.Fatalf("private registry serve.classified = %d, want %d", got, len(trace))
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"pktclass/internal/core"
 	"pktclass/internal/flowcache"
 	"pktclass/internal/metrics"
+	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/update"
@@ -80,6 +81,13 @@ type Config struct {
 	CacheShards int
 	// Seed makes swap-verification traces deterministic.
 	Seed int64
+	// Obs wires the observability layer: the service registers its counters
+	// in Obs.Reg's base registry (so /metrics and Counters read the same
+	// instruments), records submit-wait / classify-batch / swap-phase
+	// latencies into Obs's histograms, routes the flow cache's probe phase
+	// into Obs.CacheProbe, and samples packets through Obs.Tracer. Nil runs
+	// the service unobserved — the worker hot path carries one branch.
+	Obs *obsv.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +108,9 @@ type Pending struct {
 	hdrs    []packet.Header
 	results []int
 	done    chan struct{}
+	// enq is the accept timestamp, stamped only when the service is
+	// observed: the worker turns it into the submit-wait histogram sample.
+	enq time.Time
 }
 
 // Wait blocks until the batch is classified or the context ends. The
@@ -187,15 +198,23 @@ type Service struct {
 	queued    atomic.Int64
 	wg        sync.WaitGroup
 
-	classified    metrics.Counter
-	batches       metrics.Counter
-	rejected      metrics.Counter
-	closedSubmits metrics.Counter
-	depth         metrics.Gauge
-	swaps         metrics.Counter
-	failedSwaps   metrics.Counter
-	invalidOps    metrics.Counter
-	swapLatency   metrics.LatencyCounter
+	// The counters live in reg — the Obs base registry when observability
+	// is wired, a private registry otherwise — so Counters(), /metrics and
+	// /statusz all read the same instruments. The pointers are bound once
+	// in New; the hot path never goes through the registry's lock.
+	reg           *metrics.Registry
+	classified    *metrics.Counter
+	batches       *metrics.Counter
+	rejected      *metrics.Counter
+	closedSubmits *metrics.Counter
+	depth         *metrics.Gauge
+	swaps         *metrics.Counter
+	failedSwaps   *metrics.Counter
+	invalidOps    *metrics.Counter
+	swapLatency   *metrics.LatencyCounter
+
+	// obs is Config.Obs; nil disables every observability branch.
+	obs *obsv.Obs
 }
 
 // New builds the initial engine from the ruleset and starts the worker
@@ -218,9 +237,26 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		rs:       rs,
 		swapSeed: cfg.Seed,
 		shards:   make([]chan *Pending, cfg.Workers),
+		obs:      cfg.Obs,
 	}
+	s.reg = &metrics.Registry{}
+	if cfg.Obs != nil {
+		s.reg = cfg.Obs.Reg.Base()
+	}
+	s.classified = s.reg.Counter("serve.classified")
+	s.batches = s.reg.Counter("serve.batches")
+	s.rejected = s.reg.Counter("serve.rejected")
+	s.closedSubmits = s.reg.Counter("serve.closed_submits")
+	s.depth = s.reg.Gauge("serve.queue_depth")
+	s.swaps = s.reg.Counter("serve.swaps")
+	s.failedSwaps = s.reg.Counter("serve.failed_swaps")
+	s.invalidOps = s.reg.Counter("serve.invalid_ops")
+	s.swapLatency = s.reg.Latency("serve.swap")
 	if cfg.CacheEntries > 0 {
 		s.cache = flowcache.New(flowcache.Config{Entries: cfg.CacheEntries, Shards: cfg.CacheShards})
+		if cfg.Obs != nil {
+			s.cache.SetProbeHistogram(cfg.Obs.CacheProbe)
+		}
 		eng = core.NewCached(eng, s.cache)
 	}
 	s.engine.Store(&eng)
@@ -258,7 +294,23 @@ func (s *Service) worker(shard chan *Pending) {
 		// version; the native batch path classifies the whole batch with
 		// no per-packet dispatch or allocation.
 		eng := *s.engine.Load()
-		core.ClassifyBatchInto(eng, p.hdrs, p.results)
+		if obs := s.obs; obs != nil {
+			obs.SubmitWait.Observe(time.Since(p.enq))
+			// The sampled packet (at most one per batch) is traced through
+			// the per-packet path *before* the batch runs, so its cache-probe
+			// hop reflects the pre-batch cache state — the batch itself would
+			// insert the flow and turn every sampled miss into a hit.
+			if idx, tr := obs.Tracer.SampleBatch(len(p.hdrs)); tr != nil {
+				tr.Hdr = p.hdrs[idx]
+				tr.Result = core.ClassifyTraced(eng, p.hdrs[idx], tr)
+				obs.Tracer.Finish(tr)
+			}
+			start := time.Now()
+			core.ClassifyBatchInto(eng, p.hdrs, p.results)
+			obs.ClassifyBatch.Observe(time.Since(start))
+		} else {
+			core.ClassifyBatchInto(eng, p.hdrs, p.results)
+		}
 		s.classified.Add(int64(len(p.hdrs)))
 		s.batches.Inc()
 		close(p.done)
@@ -285,6 +337,9 @@ func (s *Service) Submit(hdrs []packet.Header) (*Pending, error) {
 		// like queue pressure in the stats.
 		s.closedSubmits.Inc()
 		return nil, ErrClosed
+	}
+	if s.obs != nil {
+		p.enq = time.Now()
 	}
 	// Round-robin across shards, falling through to any shard with room
 	// before declaring backpressure.
@@ -361,12 +416,20 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 		s.failedSwaps.Inc()
 		return fmt.Errorf("serve: shadow build failed, %w: %w", ErrRolledBack, err)
 	}
+	buildDone := time.Now()
+	if s.obs != nil {
+		s.obs.SwapBuild.Observe(buildDone.Sub(start))
+	}
 	if s.cfg.VerifyPackets > 0 {
 		s.swapSeed++
 		trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{
 			Count: s.cfg.VerifyPackets, MatchFraction: 0.8, Seed: s.swapSeed,
 		})
-		if m := core.VerifyClassify(core.NewLinear(next), shadow, trace); m != nil {
+		m := core.VerifyClassify(core.NewLinear(next), shadow, trace)
+		if s.obs != nil {
+			s.obs.SwapVerify.Observe(time.Since(buildDone))
+		}
+		if m != nil {
 			s.failedSwaps.Inc()
 			return fmt.Errorf("serve: shadow verify failed, %w: %s", ErrRolledBack, m)
 		}
@@ -380,9 +443,32 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 	s.rs = next
 	s.engine.Store(&shadow)
 	s.swaps.Inc()
-	s.swapLatency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.swapLatency.Observe(elapsed)
+	if s.obs != nil {
+		s.obs.SwapTotal.Observe(elapsed)
+	}
 	return nil
 }
+
+// Registry returns the metrics registry the service's counters live in:
+// the Obs base registry when observability is wired, a private one
+// otherwise.
+func (s *Service) Registry() *metrics.Registry { return s.reg }
+
+// ShardDepths reports each worker shard's currently queued batch count,
+// for per-shard exposition gauges. The reads are instantaneous channel
+// lengths — consistent enough for a scrape, not a synchronized snapshot.
+func (s *Service) ShardDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, shard := range s.shards {
+		out[i] = len(shard)
+	}
+	return out
+}
+
+// Workers returns the worker (and shard) count.
+func (s *Service) Workers() int { return len(s.shards) }
 
 // CacheStats snapshots the flow cache counters; ok is false when the
 // service runs uncached.

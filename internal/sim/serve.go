@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/serve"
@@ -46,6 +47,10 @@ type ServeConfig struct {
 	Churn bool
 	// Seed makes the update stream deterministic.
 	Seed int64
+	// Obs wires the service's observability layer (see serve.Config.Obs).
+	// The churn-free baseline is always unobserved, so DegradationPct also
+	// reads the instrumentation cost when Obs is set.
+	Obs *obsv.Obs
 }
 
 // ServeResult is the outcome of one lookup-under-update replay.
@@ -109,6 +114,7 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 		VerifyPackets: cfg.VerifyPackets,
 		CacheEntries:  cfg.CacheEntries,
 		Seed:          cfg.Seed,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return ServeResult{}, err

@@ -1,0 +1,46 @@
+package tcam
+
+import (
+	"testing"
+
+	"pktclass/internal/obsv"
+	"pktclass/internal/ruleset"
+)
+
+func TestBehavioralClassifyTraced(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{
+		N: 128, Profile: ruleset.FirewallProfile, Seed: 31, DefaultRule: true,
+	})
+	eng := NewBehavioral(rs.Expand())
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 32})
+	tc := obsv.NewTracer(1, 4)
+	for _, h := range trace {
+		tr := tc.Sample()
+		got := eng.ClassifyTraced(h, tr)
+		tc.Finish(tr)
+		if want := eng.Classify(h); got != want {
+			t.Fatalf("traced %d != classify %d on %s", got, want, h)
+		}
+		hops := tr.HopSlice()
+		if len(hops) != 2 || hops[0].Kind != obsv.HopTCAMSearch || hops[1].Kind != obsv.HopPriorityEncode {
+			t.Fatalf("hops = %+v", hops)
+		}
+		// The match-line count must agree with the full match vector, and the
+		// encoder winner with the count.
+		lines := 0
+		for _, m := range eng.MatchVector(h.Key()) {
+			if m {
+				lines++
+			}
+		}
+		if int(hops[0].Detail) != lines {
+			t.Fatalf("search hop reports %d lines, match vector has %d", hops[0].Detail, lines)
+		}
+		if (lines > 0) != (hops[1].Detail >= 0) {
+			t.Fatalf("%d lines but encoder winner %d", lines, hops[1].Detail)
+		}
+	}
+	if eng.ClassifyTraced(trace[0], nil) != eng.Classify(trace[0]) {
+		t.Fatal("nil-trace path diverged")
+	}
+}
