@@ -59,31 +59,41 @@ type benchSnapshot struct {
 	Commit     string        `json:"commit,omitempty"`
 	Profile    string        `json:"profile"`
 	Results    []benchResult `json:"results"`
+	// Churn holds -churn mode's update-throughput measurements (empty for
+	// classification-only snapshots).
+	Churn []churnResult `json:"churn,omitempty"`
 }
 
 func runBench(args []string) {
 	fs := flag.NewFlagSet("pclass bench", flag.ExitOnError)
 	var (
-		engines  = fs.String("engines", "stridebv,fsbv,rangebv,tcam,linear", "comma-separated engines to measure")
-		sizes    = fs.String("sizes", "32,128,512,2048", "comma-separated ruleset sizes")
-		strides  = fs.String("strides", "3,4", "comma-separated strides for stridebv/rangebv")
-		packets  = fs.Int("packets", 1024, "packets per classified batch")
-		profile  = fs.String("profile", "prefix-only", "ruleset profile: firewall | feature-free | prefix-only")
-		cacheN   = fs.Int("cache", 0, "flow-cache capacity in entries fronting each engine (0 = uncached)")
-		skew     = fs.String("skew", "uniform", "traffic skew: uniform | zipf:S (e.g. zipf:1.2)")
-		flows    = fs.Int("flows", 256, "flow population size for zipf traffic")
-		burst    = fs.Float64("burst", 4, "mean flow-burst length for zipf traffic")
-		jsonOut  = fs.Bool("json", false, "emit the snapshot as JSON on stdout")
-		outPath  = fs.String("out", "", "write the JSON snapshot to this file (implies -json)")
-		compare  = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of benchmarking")
-		seedFlag = fs.Int64("seed", 1, "deterministic seed for rulesets and traces")
+		engines    = fs.String("engines", "stridebv,fsbv,rangebv,tcam,linear", "comma-separated engines to measure")
+		sizes      = fs.String("sizes", "32,128,512,2048", "comma-separated ruleset sizes")
+		strides    = fs.String("strides", "3,4", "comma-separated strides for stridebv/rangebv")
+		packets    = fs.Int("packets", 1024, "packets per classified batch")
+		profile    = fs.String("profile", "prefix-only", "ruleset profile: firewall | feature-free | prefix-only")
+		cacheCSV   = fs.String("cache", "0", "comma-separated flow-cache capacities fronting each engine (0 = uncached); each value adds a measurement series")
+		skew       = fs.String("skew", "uniform", "traffic skew: uniform | zipf:S (e.g. zipf:1.2)")
+		flows      = fs.Int("flows", 256, "flow population size for zipf traffic")
+		burst      = fs.Float64("burst", 4, "mean flow-burst length for zipf traffic")
+		jsonOut    = fs.Bool("json", false, "emit the snapshot as JSON on stdout")
+		outPath    = fs.String("out", "", "write the JSON snapshot to this file (implies -json)")
+		compare    = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of benchmarking")
+		maxRegress = fs.Float64("max-regress", 0, "with -compare: exit non-zero when a gated config's ns/pkt regresses by more than this percent (0 disables the gate)")
+		gateCSV    = fs.String("gate", "stridebv,tcam,cached", "with -compare: engine names subject to -max-regress ('cached' gates every cache-fronted series)")
+		churnFlag  = fs.Bool("churn", false, "measure sustained rule-update throughput (incremental vs rebuild) instead of classification rate")
+		churnDur   = fs.Duration("churn-dur", 800*time.Millisecond, "churn mode: duration of each measurement phase")
+		churnOps   = fs.Int("churn-ops", 64, "churn mode: rule replacements per update batch")
+		workers    = fs.Int("workers", 2, "churn mode: serving workers")
+		verifyPkts = fs.Int("verify", 64, "churn mode: per-swap differential verification trace length")
+		seedFlag   = fs.Int64("seed", 1, "deterministic seed for rulesets and traces")
 	)
 	fs.Parse(args)
 	if *compare {
 		if fs.NArg() != 2 {
 			log.Fatal("pclass bench -compare needs exactly two snapshot files: old.json new.json")
 		}
-		if err := compareSnapshots(fs.Arg(0), fs.Arg(1)); err != nil {
+		if err := compareSnapshots(fs.Arg(0), fs.Arg(1), *maxRegress, *gateCSV); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -95,6 +105,10 @@ func runBench(args []string) {
 	ks, err := parseInts(*strides)
 	if err != nil {
 		log.Fatalf("-strides: %v", err)
+	}
+	caches, err := parseCacheList(*cacheCSV)
+	if err != nil {
+		log.Fatalf("-cache: %v", err)
 	}
 	zipfS, err := parseSkew(*skew)
 	if err != nil {
@@ -109,30 +123,57 @@ func runBench(args []string) {
 		Commit:     gitCommit(),
 		Profile:    *profile,
 	}
-	cfg := benchConfig{
-		packets: *packets, profile: *profile, cache: *cacheN,
-		skew: *skew, zipfS: zipfS, flows: *flows, burst: *burst, seed: *seedFlag,
-	}
-	for _, name := range strings.Split(*engines, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	if *churnFlag {
+		ccfg := churnConfig{
+			stride: 4, workers: *workers, batch: 256, opsPerSwap: *churnOps,
+			dur: *churnDur, verify: *verifyPkts, seed: *seedFlag,
 		}
-		// Only the stride-parameterized engines sweep k; the rest run once
-		// per size with the stride recorded as 0.
-		engKs := []int{0}
-		if name == "stridebv" || name == "rangebv" {
-			engKs = ks
-		}
-		for _, k := range engKs {
+		for _, name := range strings.Split(*engines, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
 			for _, n := range ns {
-				r, err := benchOne(name, k, n, cfg)
-				if err != nil {
-					log.Fatalf("%s N=%d: %v", name, n, err)
+				for _, incremental := range []bool{true, false} {
+					r, err := churnOne(name, n, incremental, ccfg)
+					if err != nil {
+						log.Fatalf("churn %s N=%d: %v", name, n, err)
+					}
+					snap.Churn = append(snap.Churn, r)
+					if !*jsonOut && *outPath == "" {
+						printChurnRow(r)
+					}
 				}
-				snap.Results = append(snap.Results, r)
-				if !*jsonOut && *outPath == "" {
-					printBenchRow(r)
+			}
+		}
+	} else {
+		for _, name := range strings.Split(*engines, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			// Only the stride-parameterized engines sweep k; the rest run
+			// once per size with the stride recorded as 0.
+			engKs := []int{0}
+			if name == "stridebv" || name == "rangebv" {
+				engKs = ks
+			}
+			for _, k := range engKs {
+				for _, n := range ns {
+					for _, cacheN := range caches {
+						cfg := benchConfig{
+							packets: *packets, profile: *profile, cache: cacheN,
+							skew: *skew, zipfS: zipfS, flows: *flows, burst: *burst, seed: *seedFlag,
+						}
+						r, err := benchOne(name, k, n, cfg)
+						if err != nil {
+							log.Fatalf("%s N=%d: %v", name, n, err)
+						}
+						snap.Results = append(snap.Results, r)
+						if !*jsonOut && *outPath == "" {
+							printBenchRow(r)
+						}
+					}
 				}
 			}
 		}
@@ -244,6 +285,30 @@ func benchOne(name string, stride, rules int, cfg benchConfig) (benchResult, err
 	return r, nil
 }
 
+// parseCacheList parses the -cache CSV; unlike parseInts it accepts 0
+// (the uncached series).
+func parseCacheList(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("%d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
 // parseSkew maps the -skew flag to a Zipf exponent; a negative return
 // selects the uniform directed-trace generator.
 func parseSkew(s string) (float64, error) {
@@ -289,8 +354,12 @@ func gitCommit() string {
 
 // compareSnapshots prints per-configuration ns/pkt deltas between two
 // snapshot files, so a sequence of BENCH_*.json files reads as a
-// trajectory.
-func compareSnapshots(oldPath, newPath string) error {
+// trajectory. With maxRegress > 0 it becomes CI's regression gate: any
+// configuration whose engine is named in gateCSV (or, via the special name
+// "cached", any cache-fronted series) that slows down by more than
+// maxRegress percent fails the comparison. New and vanished configurations
+// never fail the gate — only measured regressions do.
+func compareSnapshots(oldPath, newPath string, maxRegress float64, gateCSV string) error {
 	load := func(path string) (benchSnapshot, error) {
 		var s benchSnapshot
 		data, err := os.ReadFile(path)
@@ -323,6 +392,16 @@ func compareSnapshots(oldPath, newPath string) error {
 		keys = append(keys, r.key())
 		byKey[r.key()] = r
 	}
+	gated := make(map[string]bool)
+	for _, g := range strings.Split(gateCSV, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+	inGate := func(r benchResult) bool {
+		return gated[r.Engine] || (gated["cached"] && r.CacheEntries > 0)
+	}
+	var failures []string
 	sort.Strings(keys)
 	fmt.Printf("%-52s %12s %12s %9s\n", "config", "old ns/pkt", "new ns/pkt", "delta")
 	for _, k := range keys {
@@ -335,7 +414,11 @@ func compareSnapshots(oldPath, newPath string) error {
 		matched[k] = true
 		delta := "n/a"
 		if or.NsPerPkt > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerPkt-or.NsPerPkt)/or.NsPerPkt)
+			pct := 100 * (nr.NsPerPkt - or.NsPerPkt) / or.NsPerPkt
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if maxRegress > 0 && pct > maxRegress && inGate(nr) {
+				failures = append(failures, fmt.Sprintf("%s: %+.1f%% (limit %+.1f%%)", k, pct, maxRegress))
+			}
 		}
 		fmt.Printf("%-52s %12.1f %12.1f %9s\n", k, or.NsPerPkt, nr.NsPerPkt, delta)
 	}
@@ -343,6 +426,13 @@ func compareSnapshots(oldPath, newPath string) error {
 		if !matched[r.key()] {
 			fmt.Printf("%-52s %12.1f %12s %9s\n", r.key(), r.NsPerPkt, "-", "gone")
 		}
+	}
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("REGRESSION", f)
+		}
+		return fmt.Errorf("bench: %d gated configuration(s) regressed beyond %.1f%%", len(failures), maxRegress)
 	}
 	return nil
 }

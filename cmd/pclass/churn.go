@@ -1,0 +1,203 @@
+// The -churn mode of pclass bench: measure sustained rule-update
+// throughput against a live serving classifier, incremental (O(delta)
+// engine updates) versus rebuild (full shadow build per swap), and the
+// classify-latency cost of the churn versus a churn-free run of the same
+// service. This is the operational readout behind the paper's Section IV-C
+// reconfigurability claim: updates per second the engine absorbs while
+// still answering lookups at speed.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pktclass/internal/cli"
+	"pktclass/internal/core"
+	"pktclass/internal/obsv"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/serve"
+	"pktclass/internal/update"
+)
+
+// churnResult is one (engine, size, mode) churn measurement.
+type churnResult struct {
+	Engine string `json:"engine"`
+	Rules  int    `json:"rules"`
+	// Mode is "incremental" or "rebuild".
+	Mode string `json:"mode"`
+	// RuleOps is the number of single-rule replacements committed; the rate
+	// divides by the churn phase's wall time.
+	RuleOps       int64   `json:"rule_ops"`
+	RuleOpsPerSec float64 `json:"rule_ops_per_sec"`
+	// ClassifyP99Ns is the service's per-batch classify p99 under churn;
+	// BaselineP99Ns is the same service's p99 with no updater running, and
+	// P99DeltaPct the relative cost ((churn-baseline)/baseline).
+	ClassifyP99Ns int64   `json:"classify_p99_ns"`
+	BaselineP99Ns int64   `json:"baseline_p99_ns"`
+	P99DeltaPct   float64 `json:"p99_delta_pct"`
+	// Swap accounting, straight from the service counters: Swaps is the
+	// rebuild path, IncrementalSwaps the O(delta) path, Rollbacks failed
+	// scoped verifies (retried as rebuilds), Fallbacks structural deltas.
+	Swaps            int64 `json:"swaps"`
+	IncrementalSwaps int64 `json:"incremental_swaps"`
+	Rollbacks        int64 `json:"incremental_rollbacks,omitempty"`
+	Fallbacks        int64 `json:"incremental_fallbacks,omitempty"`
+}
+
+func (r churnResult) key() string {
+	return fmt.Sprintf("churn %s N=%d mode=%s", r.Engine, r.Rules, r.Mode)
+}
+
+// churnConfig carries the bench flags the churn mode consumes.
+type churnConfig struct {
+	stride     int
+	workers    int
+	batch      int
+	opsPerSwap int
+	dur        time.Duration
+	verify     int
+	seed       int64
+}
+
+// churnOne measures one engine at one size in one mode: a churn-free
+// baseline phase fixes the classify p99 reference, then the churn phase
+// runs a dedicated updater flat out against the same serving setup.
+func churnOne(name string, n int, incremental bool, cfg churnConfig) (churnResult, error) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: n, Profile: ruleset.PrefixOnly, Seed: cfg.seed, DefaultRule: true})
+	if rs.ExpansionFactor() != 1 {
+		return churnResult{}, fmt.Errorf("churn requires a prefix-only ruleset (expansion factor %.2f)", rs.ExpansionFactor())
+	}
+	build := func(r *ruleset.RuleSet) (core.Engine, error) {
+		return cli.BuildEngine(r, name, cfg.stride)
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Count: 4096, MatchFraction: 0.9, Locality: 0.3, Seed: cfg.seed + 1,
+	})
+	baseP99, _, _, _, err := churnPhase(rs, build, trace, cfg, false, incremental)
+	if err != nil {
+		return churnResult{}, err
+	}
+	p99, counters, ruleOps, elapsed, err := churnPhase(rs, build, trace, cfg, true, incremental)
+	if err != nil {
+		return churnResult{}, err
+	}
+	mode := "rebuild"
+	if incremental {
+		mode = "incremental"
+	}
+	r := churnResult{
+		Engine:           name,
+		Rules:            n,
+		Mode:             mode,
+		RuleOps:          ruleOps,
+		ClassifyP99Ns:    p99,
+		BaselineP99Ns:    baseP99,
+		Swaps:            counters.Swaps,
+		IncrementalSwaps: counters.IncrementalSwaps,
+		Rollbacks:        counters.IncrementalRollbacks,
+		Fallbacks:        counters.IncrementalFallbacks,
+	}
+	if elapsed > 0 {
+		r.RuleOpsPerSec = float64(ruleOps) / elapsed.Seconds()
+	}
+	if baseP99 > 0 {
+		r.P99DeltaPct = 100 * float64(p99-baseP99) / float64(baseP99)
+	}
+	return r, nil
+}
+
+// churnPhase runs one service with a continuous classify load for cfg.dur
+// and, when churn is set, an updater applying cfg.opsPerSwap-rule batches
+// as fast as the swap path commits them. It reports the classify-batch p99
+// from the service's own histogram, the final counters, and the committed
+// rule-op count over the churn phase's measured wall time.
+func churnPhase(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Header, cfg churnConfig, churn, incremental bool) (p99 int64, counters serve.Counters, ruleOps int64, elapsed time.Duration, err error) {
+	// Collect garbage left by the previous configuration so one phase's
+	// heap does not bill GC pauses to the next one's latency histogram.
+	runtime.GC()
+	obs := obsv.NewObs(nil, nil)
+	svc, err := serve.New(rs.Clone(), build, serve.Config{
+		Workers:       cfg.workers,
+		Incremental:   incremental,
+		VerifyPackets: cfg.verify,
+		Seed:          cfg.seed,
+		Obs:           obs,
+	})
+	if err != nil {
+		return 0, serve.Counters{}, 0, 0, err
+	}
+	defer svc.Close(context.Background())
+
+	stop := make(chan struct{})
+	classifierDone := make(chan error, 1)
+	go func() {
+		lo := 0
+		for {
+			select {
+			case <-stop:
+				classifierDone <- nil
+				return
+			default:
+			}
+			hi := lo + cfg.batch
+			if hi > len(trace) {
+				lo, hi = 0, cfg.batch
+			}
+			if _, err := svc.Classify(context.Background(), trace[lo:hi]); err != nil {
+				classifierDone <- err
+				return
+			}
+			lo = hi
+		}
+	}()
+
+	start := time.Now()
+	deadline := start.Add(cfg.dur)
+	seed := cfg.seed + 100
+	for time.Now().Before(deadline) {
+		if !churn {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		ops, err := update.GenerateOps(svc.RuleSet(), cfg.opsPerSwap, seed)
+		if err != nil {
+			close(stop)
+			<-classifierDone
+			return 0, serve.Counters{}, 0, 0, err
+		}
+		seed++
+		if err := svc.ApplyOps(ops); err != nil {
+			// A rolled-back swap is a measured outcome, not a harness error;
+			// its ops did not commit and are not counted.
+			if !isRollback(err) {
+				close(stop)
+				<-classifierDone
+				return 0, serve.Counters{}, 0, 0, err
+			}
+			continue
+		}
+		ruleOps += int64(len(ops))
+	}
+	elapsed = time.Since(start)
+	close(stop)
+	if err := <-classifierDone; err != nil {
+		return 0, serve.Counters{}, 0, 0, err
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		return 0, serve.Counters{}, 0, 0, err
+	}
+	return obs.ClassifyBatch.Snapshot().Quantile(0.99), svc.Counters(), ruleOps, elapsed, nil
+}
+
+func isRollback(err error) bool { return errors.Is(err, serve.ErrRolledBack) }
+
+func printChurnRow(r churnResult) {
+	fmt.Printf("%-12s N=%-6d %-12s %10.0f ops/s  p99 %8s (baseline %8s, %+5.1f%%)  swaps=%d inc=%d rb=%d fb=%d\n",
+		r.Engine, r.Rules, r.Mode, r.RuleOpsPerSec,
+		time.Duration(r.ClassifyP99Ns), time.Duration(r.BaselineP99Ns), r.P99DeltaPct,
+		r.Swaps, r.IncrementalSwaps, r.Rollbacks, r.Fallbacks)
+}

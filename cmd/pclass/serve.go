@@ -43,6 +43,7 @@ func runServe(args []string) {
 		clients     = fs.Int("clients", 4, "load-generator goroutines")
 		updateEvery = fs.Duration("update-every", 0, "interval between ruleset hot-swaps (0 disables churn)")
 		opsPerSwap  = fs.Int("ops-per-swap", 8, "rule replacements per hot-swap")
+		incremental = fs.Bool("incremental", false, "apply hot-swaps through the engines' O(delta) update path (scoped verify + rebuild fallback)")
 		measure     = fs.Bool("measure", false, "replay the trace once under continuous churn and report throughput degradation")
 		swaps       = fs.Int("swaps", 0, "bound on hot-swaps in -measure mode (0 = churn for the whole replay)")
 		seed        = fs.Int64("seed", 1, "deterministic seed for traces and update streams")
@@ -84,6 +85,7 @@ func runServe(args []string) {
 			OpsPerSwap:   *opsPerSwap,
 			CacheEntries: *cacheN,
 			Churn:        true,
+			Incremental:  *incremental,
 			Seed:         *seed,
 			Obs:          obs,
 		})
@@ -107,6 +109,7 @@ func runServe(args []string) {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
+		Incremental:  *incremental,
 		Seed:         *seed,
 		Obs:          obs,
 	})

@@ -51,6 +51,14 @@ func (v Vector) Len() int { return v.n }
 // set bits at positions >= Len.
 func (v Vector) Words() []uint64 { return v.words }
 
+// SharesStorage reports whether v and o are views of the same backing word
+// array. Copy-on-write structures (stridebv delta clones) use it to decide
+// whether a vector must be copied before a mutation, and tests use it to
+// prove untouched state stayed shared.
+func (v Vector) SharesStorage(o Vector) bool {
+	return len(v.words) > 0 && len(o.words) > 0 && &v.words[0] == &o.words[0]
+}
+
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
 	w := Vector{n: v.n, words: make([]uint64, len(v.words))}

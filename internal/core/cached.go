@@ -52,6 +52,21 @@ func NewCached(eng Engine, cache *flowcache.Cache) *Cached {
 	return c
 }
 
+// Unwrap peels engine wrappers off eng until a bare engine remains
+// (currently the only wrapper is Cached). The serving layer's incremental
+// update path uses it to reach the engine that actually owns state worth
+// updating in place; the wrapper is reapplied, under a fresh cache
+// generation, around the updated engine.
+func Unwrap(eng Engine) Engine {
+	for {
+		c, ok := eng.(*Cached)
+		if !ok {
+			return eng
+		}
+		eng = c.eng
+	}
+}
+
 // Name identifies the engine for reports.
 func (c *Cached) Name() string { return fmt.Sprintf("cached(%s)", c.eng.Name()) }
 

@@ -100,6 +100,12 @@ type Obs struct {
 	SwapBuild  *Histogram
 	SwapVerify *Histogram
 	SwapTotal  *Histogram
+	// SwapIncremental and SwapIncVerify time the O(delta) path: the engine
+	// delta apply, and its scoped (touched rules + spot checks) verify.
+	// Comparing SwapIncremental against SwapBuild is the direct incremental
+	// vs rebuild readout.
+	SwapIncremental *Histogram
+	SwapIncVerify   *Histogram
 }
 
 // Histogram names the serving layer registers in its Obs registry.
@@ -110,6 +116,9 @@ const (
 	HistSwapBuild     = "serve.swap_build"
 	HistSwapVerify    = "serve.swap_verify"
 	HistSwapTotal     = "serve.swap_total"
+
+	HistSwapIncremental = "serve.swap_incremental"
+	HistSwapIncVerify   = "serve.swap_inc_verify"
 )
 
 // NewObs builds the serving instrument set in reg (nil allocates a fresh
@@ -127,5 +136,8 @@ func NewObs(reg *Registry, tracer *Tracer) *Obs {
 		SwapBuild:     reg.Histogram(HistSwapBuild),
 		SwapVerify:    reg.Histogram(HistSwapVerify),
 		SwapTotal:     reg.Histogram(HistSwapTotal),
+
+		SwapIncremental: reg.Histogram(HistSwapIncremental),
+		SwapIncVerify:   reg.Histogram(HistSwapIncVerify),
 	}
 }

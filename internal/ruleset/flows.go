@@ -37,7 +37,7 @@ func FlowHeaders(rs *RuleSet, n int, matchFraction float64, seed int64) []packet
 	out := make([]packet.Header, n)
 	for i := range out {
 		if rng.Float64() < matchFraction && rs.Len() > 0 {
-			out[i] = headerInRule(rs.Rules[rng.Intn(rs.Len())], rng)
+			out[i] = HeaderInRule(rs.Rules[rng.Intn(rs.Len())], rng)
 		} else {
 			out[i] = RandomHeader(rng)
 		}
@@ -63,7 +63,7 @@ func GenerateFlows(rs *RuleSet, cfg FlowTraceConfig) []Flow {
 	for i := 0; i < cfg.Flows; i++ {
 		var h packet.Header
 		if rng.Float64() < cfg.MatchFraction && rs.Len() > 0 {
-			h = headerInRule(rs.Rules[rng.Intn(rs.Len())], rng)
+			h = HeaderInRule(rs.Rules[rng.Intn(rs.Len())], rng)
 		} else {
 			h = RandomHeader(rng)
 		}

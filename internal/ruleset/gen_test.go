@@ -149,7 +149,7 @@ func TestHeaderInRuleAlwaysMatches(t *testing.T) {
 			r = genPrefixOnlyRule(rng)
 		}
 		for probe := 0; probe < 10; probe++ {
-			h := headerInRule(r, rng)
+			h := HeaderInRule(r, rng)
 			if !r.Matches(h) {
 				t.Fatalf("headerInRule produced non-matching header %s for %s", h, r)
 			}
@@ -163,7 +163,7 @@ func TestHeaderInMaskedProtocolRule(t *testing.T) {
 	r.Proto = Protocol{Value: 0x06, Mask: 0x0F}
 	seenUpperBits := false
 	for i := 0; i < 200; i++ {
-		h := headerInRule(r, rng)
+		h := HeaderInRule(r, rng)
 		if !r.Matches(h) {
 			t.Fatalf("masked-proto header does not match: %02x", h.Proto)
 		}

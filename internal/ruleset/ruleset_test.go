@@ -119,7 +119,7 @@ func TestExpandedFirstMatchEqualsRuleSet(t *testing.T) {
 			if probe%2 == 0 {
 				h = RandomHeader(rng)
 			} else {
-				h = headerInRule(rs.Rules[rng.Intn(rs.Len())], rng)
+				h = HeaderInRule(rs.Rules[rng.Intn(rs.Len())], rng)
 			}
 			if got, want := ex.FirstMatch(h.Key()), rs.FirstMatch(h); got != want {
 				t.Fatalf("profile %v: expanded FirstMatch=%d ruleset=%d for %s", trial%3, got, want, h)

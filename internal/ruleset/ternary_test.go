@@ -22,7 +22,7 @@ func TestTernaryFromPrefixesMatchesRule(t *testing.T) {
 			if probe%2 == 0 {
 				h = RandomHeader(rng)
 			} else {
-				h = headerInRule(r, rng)
+				h = HeaderInRule(r, rng)
 			}
 			if tern.Matches(h) != r.Matches(h) {
 				t.Fatalf("rule %s vs ternary %s disagree on %s", r, tern, h)
@@ -44,7 +44,7 @@ func TestTernaryEntriesEquivalentToRule(t *testing.T) {
 			if probe%2 == 0 {
 				h = RandomHeader(rng)
 			} else {
-				h = headerInRule(r, rng)
+				h = HeaderInRule(r, rng)
 			}
 			any := false
 			for _, e := range entries {

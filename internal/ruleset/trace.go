@@ -37,7 +37,7 @@ func GenerateTrace(rs *RuleSet, cfg TraceConfig) []packet.Header {
 				ri = rng.Intn(rs.Len())
 			}
 			lastRule = ri
-			out = append(out, headerInRule(rs.Rules[ri], rng))
+			out = append(out, HeaderInRule(rs.Rules[ri], rng))
 		} else {
 			lastRule = -1
 			out = append(out, RandomHeader(rng))
@@ -57,8 +57,11 @@ func RandomHeader(rng *rand.Rand) packet.Header {
 	}
 }
 
-// headerInRule draws a header uniformly from the rule's match region.
-func headerInRule(r Rule, rng *rand.Rand) packet.Header {
+// HeaderInRule draws a header uniformly from the rule's match region. Note
+// the drawn header can still be claimed by a higher-priority rule. The
+// scoped verification of incremental updates uses this to direct probes at
+// exactly the rules an update touched (old and new match regions).
+func HeaderInRule(r Rule, rng *rand.Rand) packet.Header {
 	inPrefix := func(p Prefix) uint32 {
 		free := uint(p.Bits - p.Len)
 		if free == 0 {

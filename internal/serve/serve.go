@@ -79,6 +79,18 @@ type Config struct {
 	// CacheShards overrides the cache's shard count (0 selects the
 	// flowcache default).
 	CacheShards int
+	// Incremental routes ApplyOps through the engines' O(delta) update
+	// primitives (StrideBV stage-memory column flips, TCAM per-row SRL16E
+	// shift-in writes) instead of a full shadow rebuild, whenever the delta
+	// is non-structural and the engine supports it. The updated engine is
+	// verified with a scoped sweep (touched rules + spot checks) before the
+	// atomic pointer swap; any delta failure or verify mismatch falls back
+	// to the shadow-rebuild path, so correctness never depends on this flag.
+	Incremental bool
+	// SpotCheckPackets is the number of sampled headers added to the scoped
+	// incremental verify beyond the per-touched-rule directed probes
+	// (0 selects 16; negative disables the spot checks).
+	SpotCheckPackets int
 	// Seed makes swap-verification traces deterministic.
 	Seed int64
 	// Obs wires the observability layer: the service registers its counters
@@ -99,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VerifyPackets == 0 {
 		c.VerifyPackets = 256
+	}
+	if c.SpotCheckPackets == 0 {
+		c.SpotCheckPackets = 16
 	}
 	return c
 }
@@ -129,16 +144,25 @@ func (p *Pending) Wait(ctx context.Context) ([]int, error) {
 // (Rejected), lifecycle (ClosedSubmits), malformed updates (InvalidOps)
 // and shadow-stage rollbacks (FailedSwaps) are all distinct.
 type Counters struct {
-	Classified      int64 // packets classified
-	Batches         int64 // batches completed
-	Rejected        int64 // batches refused with ErrQueueFull (backpressure only)
-	ClosedSubmits   int64 // batches refused with ErrClosed (lifecycle, not backpressure)
-	QueueHighWater  int64 // max batches queued at once
-	Swaps           int64 // engine hot-swaps committed
-	FailedSwaps     int64 // swaps rolled back by shadow build or verify failure
-	InvalidOps      int64 // update requests rejected before any build/verify was attempted
-	SwapLatencyMean time.Duration
-	SwapLatencyMax  time.Duration
+	Classified     int64 // packets classified
+	Batches        int64 // batches completed
+	Rejected       int64 // batches refused with ErrQueueFull (backpressure only)
+	ClosedSubmits  int64 // batches refused with ErrClosed (lifecycle, not backpressure)
+	QueueHighWater int64 // max batches queued at once
+	Swaps          int64 // engine hot-swaps committed (rebuild path)
+	FailedSwaps    int64 // swaps rolled back by shadow build or verify failure
+	InvalidOps     int64 // update requests rejected before any build/verify was attempted
+	// IncrementalSwaps counts O(delta) engine updates committed without a
+	// rebuild; IncrementalRollbacks counts incremental attempts whose scoped
+	// verify failed (the update then retried through the rebuild path);
+	// IncrementalFallbacks counts deltas the engine could not take
+	// incrementally (structural change or no delta primitive) that went
+	// straight to the rebuild path.
+	IncrementalSwaps     int64
+	IncrementalRollbacks int64
+	IncrementalFallbacks int64
+	SwapLatencyMean      time.Duration
+	SwapLatencyMax       time.Duration
 	// CacheEnabled reports whether the flow cache was configured; Cache is
 	// its counter snapshot (zero otherwise).
 	CacheEnabled bool
@@ -156,6 +180,9 @@ func (c Counters) Table() *metrics.Table {
 	t.AddRow("swaps", fmt.Sprint(c.Swaps))
 	t.AddRow("failed swaps", fmt.Sprint(c.FailedSwaps))
 	t.AddRow("invalid update ops", fmt.Sprint(c.InvalidOps))
+	t.AddRow("incremental swaps", fmt.Sprint(c.IncrementalSwaps))
+	t.AddRow("incremental rollbacks", fmt.Sprint(c.IncrementalRollbacks))
+	t.AddRow("incremental fallbacks", fmt.Sprint(c.IncrementalFallbacks))
 	t.AddRow("swap latency mean", c.SwapLatencyMean.String())
 	t.AddRow("swap latency max", c.SwapLatencyMax.String())
 	if c.CacheEnabled {
@@ -213,8 +240,18 @@ type Service struct {
 	invalidOps    *metrics.Counter
 	swapLatency   *metrics.LatencyCounter
 
+	incrementalSwaps     *metrics.Counter
+	incrementalRollbacks *metrics.Counter
+	incrementalFallbacks *metrics.Counter
+
 	// obs is Config.Obs; nil disables every observability branch.
 	obs *obsv.Obs
+
+	// testCorruptDelta, when set by tests, mangles the lowered delta batch
+	// before it reaches the engine — so the incrementally updated engine
+	// diverges from the ruleset the update actually produced, the exact
+	// failure mode the scoped verify exists to catch.
+	testCorruptDelta func(rules []int, entries []ruleset.Ternary)
 }
 
 // New builds the initial engine from the ruleset and starts the worker
@@ -252,6 +289,9 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 	s.failedSwaps = s.reg.Counter("serve.failed_swaps")
 	s.invalidOps = s.reg.Counter("serve.invalid_ops")
 	s.swapLatency = s.reg.Latency("serve.swap")
+	s.incrementalSwaps = s.reg.Counter("serve.incremental_swaps")
+	s.incrementalRollbacks = s.reg.Counter("serve.incremental_rollbacks")
+	s.incrementalFallbacks = s.reg.Counter("serve.incremental_fallbacks")
 	if cfg.CacheEntries > 0 {
 		s.cache = flowcache.New(flowcache.Config{Entries: cfg.CacheEntries, Shards: cfg.CacheShards})
 		if cfg.Obs != nil {
@@ -377,11 +417,15 @@ func (s *Service) RuleSet() *ruleset.RuleSet {
 	return s.rs
 }
 
-// ApplyOps applies rule replacements through the shadow-swap path: clone
-// the ruleset, apply the ops to the clone, build a fresh engine, verify it
-// differentially against the linear reference, and atomically swap it in.
-// On any failure the previous engine keeps serving and the error reports
-// why the swap was rolled back.
+// ApplyOps applies rule replacements to the live service. The default
+// route is the shadow-swap path: clone the ruleset, apply the ops to the
+// clone, build a fresh engine, verify it differentially against the linear
+// reference, and atomically swap it in. With Config.Incremental set the
+// ops first try the engine's O(delta) update primitive — scoped-verified,
+// then published by the same atomic pointer store — and only structural
+// deltas, unsupported engines, or a failed scoped verify fall back to the
+// shadow rebuild. On any failure the previous engine keeps serving and the
+// error reports why the swap was rolled back.
 func (s *Service) ApplyOps(ops []update.Op) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -392,7 +436,81 @@ func (s *Service) ApplyOps(ops []update.Op) error {
 		s.invalidOps.Inc()
 		return err
 	}
+	if next == s.rs {
+		// Empty delta: ApplyToRuleSet returned the live ruleset itself, and
+		// rebuilding an identical engine would be a spurious swap.
+		return nil
+	}
+	if s.cfg.Incremental {
+		switch err := s.applyIncrementalLocked(ops, next); {
+		case err == nil:
+			return nil
+		case errors.Is(err, update.ErrDeltaUnsupported):
+			s.incrementalFallbacks.Inc()
+		default:
+			// The delta applied but its scoped verify found a divergence:
+			// the update is still taken, through the path whose full
+			// differential verify decides independently.
+			s.incrementalRollbacks.Inc()
+		}
+	}
 	return s.swapLocked(next)
+}
+
+// applyIncrementalLocked routes ops through the live engine's O(delta)
+// update primitive: lower the ops to per-row deltas, derive the updated
+// engine (copy-on-write — the live engine is never touched and keeps
+// serving), scope-verify it on the touched rules plus sampled spot checks,
+// re-wrap it under a fresh flow-cache generation, and publish it with the
+// same atomic pointer store as a full swap. Callers hold s.mu; any error
+// leaves the service untouched and the caller decides whether to fall back
+// to the shadow rebuild.
+func (s *Service) applyIncrementalLocked(ops []update.Op, next *ruleset.RuleSet) error {
+	start := time.Now()
+	rules, entries, err := update.Deltas(ops)
+	if err != nil {
+		return err
+	}
+	if s.testCorruptDelta != nil {
+		s.testCorruptDelta(rules, entries)
+	}
+	live := *s.engine.Load()
+	eng, err := update.ApplyDeltasToEngine(live, rules, entries)
+	if err != nil {
+		return err
+	}
+	applied := time.Now()
+	if s.obs != nil {
+		s.obs.SwapIncremental.Observe(applied.Sub(start))
+	}
+	if s.cfg.VerifyPackets > 0 {
+		s.swapSeed++
+		spot := s.cfg.SpotCheckPackets
+		if spot < 0 {
+			spot = 0
+		}
+		m := update.VerifyDeltasScoped(eng, s.rs, next, rules, spot, s.swapSeed)
+		if s.obs != nil {
+			s.obs.SwapIncVerify.Observe(time.Since(applied))
+		}
+		if m != nil {
+			return fmt.Errorf("serve: incremental verify failed, %w: %s", ErrRolledBack, m)
+		}
+	}
+	if s.cache != nil {
+		// Fresh generation: decisions cached against the pre-delta engine
+		// retire as lazy misses, exactly as on the rebuild path.
+		eng = core.NewCached(eng, s.cache)
+	}
+	s.rs = next
+	s.engine.Store(&eng)
+	s.incrementalSwaps.Inc()
+	elapsed := time.Since(start)
+	s.swapLatency.Observe(elapsed)
+	if s.obs != nil {
+		s.obs.SwapTotal.Observe(elapsed)
+	}
+	return nil
 }
 
 // Reload replaces the entire ruleset through the same build-verify-swap
@@ -482,16 +600,19 @@ func (s *Service) CacheStats() (stats flowcache.Stats, ok bool) {
 // Counters snapshots the service statistics.
 func (s *Service) Counters() Counters {
 	c := Counters{
-		Classified:      s.classified.Value(),
-		Batches:         s.batches.Value(),
-		Rejected:        s.rejected.Value(),
-		ClosedSubmits:   s.closedSubmits.Value(),
-		QueueHighWater:  s.depth.Max(),
-		Swaps:           s.swaps.Value(),
-		FailedSwaps:     s.failedSwaps.Value(),
-		InvalidOps:      s.invalidOps.Value(),
-		SwapLatencyMean: s.swapLatency.Mean(),
-		SwapLatencyMax:  s.swapLatency.Max(),
+		Classified:           s.classified.Value(),
+		Batches:              s.batches.Value(),
+		Rejected:             s.rejected.Value(),
+		ClosedSubmits:        s.closedSubmits.Value(),
+		QueueHighWater:       s.depth.Max(),
+		Swaps:                s.swaps.Value(),
+		FailedSwaps:          s.failedSwaps.Value(),
+		InvalidOps:           s.invalidOps.Value(),
+		IncrementalSwaps:     s.incrementalSwaps.Value(),
+		IncrementalRollbacks: s.incrementalRollbacks.Value(),
+		IncrementalFallbacks: s.incrementalFallbacks.Value(),
+		SwapLatencyMean:      s.swapLatency.Mean(),
+		SwapLatencyMax:       s.swapLatency.Max(),
 	}
 	if s.cache != nil {
 		c.CacheEnabled = true

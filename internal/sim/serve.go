@@ -45,6 +45,12 @@ type ServeConfig struct {
 	CacheEntries int
 	// Churn false replays with no updater at all.
 	Churn bool
+	// Incremental routes the churn swaps through the engines' O(delta)
+	// update primitives with scoped verification (see
+	// serve.Config.Incremental); SpotCheckPackets sizes the scoped verify's
+	// sampled sweep (see serve.Config.SpotCheckPackets).
+	Incremental      bool
+	SpotCheckPackets int
 	// Seed makes the update stream deterministic.
 	Seed int64
 	// Obs wires the service's observability layer (see serve.Config.Obs).
@@ -109,12 +115,14 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 	baseline := ClassifyBatch(baseEng, trace, cfg.Workers)
 
 	svc, err := serve.New(rs.Clone(), build, serve.Config{
-		Workers:       cfg.Workers,
-		QueueDepth:    cfg.QueueDepth,
-		VerifyPackets: cfg.VerifyPackets,
-		CacheEntries:  cfg.CacheEntries,
-		Seed:          cfg.Seed,
-		Obs:           cfg.Obs,
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		VerifyPackets:    cfg.VerifyPackets,
+		CacheEntries:     cfg.CacheEntries,
+		Incremental:      cfg.Incremental,
+		SpotCheckPackets: cfg.SpotCheckPackets,
+		Seed:             cfg.Seed,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return ServeResult{}, err

@@ -203,3 +203,26 @@ func TestServeTraceCachedUnderChurn(t *testing.T) {
 		t.Fatalf("no cache hits under churn: %+v", res.Counters.Cache)
 	}
 }
+
+// TestServeTraceIncrementalChurn routes the churn swaps through the
+// engines' O(delta) path and checks the swaps actually took it.
+func TestServeTraceIncrementalChurn(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 91, DefaultRule: true})
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 20000, MatchFraction: 0.8, Seed: 92})
+	res, err := ServeTrace(rs, serveBuild, trace, ServeConfig{
+		Workers: 2, BatchSize: 64, Churn: true, Swaps: 5, OpsPerSwap: 4,
+		VerifyPackets: 32, Incremental: true, Seed: 93,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Classified != int64(len(trace)) {
+		t.Fatalf("classified = %d, want %d", res.Counters.Classified, len(trace))
+	}
+	if res.Counters.IncrementalSwaps == 0 {
+		t.Fatalf("no swap took the incremental path: %+v", res.Counters)
+	}
+	if res.Counters.IncrementalRollbacks != 0 || res.Counters.FailedSwaps != 0 {
+		t.Fatalf("unexpected rollbacks: %+v", res.Counters)
+	}
+}

@@ -1,0 +1,99 @@
+package stridebv
+
+import (
+	"fmt"
+
+	"pktclass/internal/bitvec"
+	"pktclass/internal/ruleset"
+)
+
+// ApplyDeltas applies a batch of single-entry rule replacements in O(delta)
+// and returns the resulting engine without touching the receiver: the
+// software form of the paper's per-stride addressable stage write
+// (Section III-A: reprogramming one entry writes one bit slice in each
+// affected stage memory), made safe for a live serving engine.
+//
+// The returned engine shares every stage vector the deltas did not change
+// with the receiver — only vectors where some touched entry's bit actually
+// flips are copied before the single-bit write, and stages whose stride
+// condition is unchanged between the old and new entry are skipped without
+// inspection of their 2^k vectors. The receiver keeps serving concurrent
+// readers unmodified throughout; the caller publishes the returned engine
+// with an atomic pointer store, the software analogue of the hardware
+// completing a write behind the search path.
+//
+// rules[i] names the entry (== rule, see below) replaced by entries[i];
+// later deltas win when indices repeat. ApplyDeltas requires the 1:1
+// rule↔entry mapping of a prefix-only expansion — a ruleset whose rules
+// expand into multiple ternary entries has no stable per-rule bit column to
+// rewrite, and such structural deltas must take the shadow-rebuild path.
+func (e *Engine) ApplyDeltas(rules []int, entries []ruleset.Ternary) (*Engine, error) {
+	if len(rules) != len(entries) {
+		return nil, fmt.Errorf("stridebv: %d delta indices but %d entries", len(rules), len(entries))
+	}
+	if e.ne != e.ex.NumRules {
+		return nil, fmt.Errorf("stridebv: delta update needs a 1:1 rule/entry mapping (%d rules expand to %d entries)", e.ex.NumRules, e.ne)
+	}
+	for _, j := range rules {
+		if j < 0 || j >= e.ne {
+			return nil, fmt.Errorf("stridebv: delta entry %d out of range [0,%d)", j, e.ne)
+		}
+	}
+	n := &Engine{
+		ex: &ruleset.Expanded{
+			Entries:  append([]ruleset.Ternary(nil), e.ex.Entries...),
+			Parent:   e.ex.Parent,
+			NumRules: e.ex.NumRules,
+		},
+		k:           e.k,
+		stages:      e.stages,
+		ne:          e.ne,
+		ownsEntries: true,
+		// Same dimensions, so the recycled lookup workspaces are
+		// interchangeable: sharing the pool keeps it warm across swaps.
+		scratch: e.scratch,
+	}
+	// Stage tables start fully shared; a table is cloned (shallowly, vector
+	// headers only) the first time one of its vectors needs replacing.
+	n.mem = make([][]bitvec.Vector, n.stages)
+	copy(n.mem, e.mem)
+	tableOwned := make([]bool, n.stages)
+	for i, j := range rules {
+		old := n.ex.Entries[j]
+		//pclass:allow-mutate the entry table is a private copy made above
+		n.ex.Entries[j] = entries[i]
+		n.applyDelta(e, j, old, entries[i], tableOwned)
+	}
+	return n, nil
+}
+
+// applyDelta flips entry j's bit in the stage vectors whose compatibility
+// with j changed between old and entry. base is the engine the clone was
+// derived from: a vector still shared with base is copied before its
+// single-bit flip; a vector this ApplyDeltas batch already copied (for an
+// earlier delta) is written in place.
+func (n *Engine) applyDelta(base *Engine, j int, old, entry ruleset.Ternary, tableOwned []bool) {
+	for s := 0; s < n.stages; s++ {
+		if stageEqual(old, entry, s*n.k, n.k) {
+			// The stride condition is unchanged: every vector's bit j is
+			// already correct.
+			continue
+		}
+		for c := range n.mem[s] {
+			want := n.compatible(entry, s, c)
+			v := n.mem[s][c]
+			if v.Get(j) == want {
+				continue
+			}
+			if v.SharesStorage(base.mem[s][c]) {
+				if !tableOwned[s] {
+					n.mem[s] = append([]bitvec.Vector(nil), n.mem[s]...)
+					tableOwned[s] = true
+				}
+				v = v.Clone()
+				n.mem[s][c] = v
+			}
+			v.SetTo(j, want)
+		}
+	}
+}

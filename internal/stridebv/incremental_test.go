@@ -1,0 +1,174 @@
+package stridebv
+
+import (
+	"math/rand"
+	"testing"
+
+	"pktclass/internal/ruleset"
+)
+
+// deltaFixture generates a prefix-only set, an engine over it, and a batch
+// of single-entry replacements with the post-delta ruleset they produce.
+func deltaFixture(t testing.TB, n, deltas int, seed int64) (*Engine, *ruleset.RuleSet, []int, []ruleset.Ternary) {
+	t.Helper()
+	rs, ex := genSet(t, n, ruleset.PrefixOnly, seed)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := ruleset.Generate(ruleset.GenConfig{N: deltas, Profile: ruleset.PrefixOnly, Seed: seed + 1})
+	rng := rand.New(rand.NewSource(seed + 2))
+	next := rs.Clone()
+	rules := make([]int, deltas)
+	entries := make([]ruleset.Ternary, deltas)
+	for i := 0; i < deltas; i++ {
+		j := rng.Intn(rs.Len())
+		rules[i] = j
+		te := donor.Rules[i].TernaryEntries()
+		if len(te) != 1 {
+			t.Fatalf("donor rule %d expands to %d entries", i, len(te))
+		}
+		entries[i] = te[0]
+		//pclass:allow-mutate writing the fixture's private clone
+		next.Rules[j] = donor.Rules[i]
+	}
+	return e, next, rules, entries
+}
+
+func TestApplyDeltasEqualsRebuild(t *testing.T) {
+	e, next, rules, entries := deltaFixture(t, 64, 12, 11)
+	updated, err := e.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := New(next.Expand(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{Count: 600, MatchFraction: 0.8, Seed: 12})
+	for _, h := range trace {
+		if got, want := updated.Classify(h), rebuilt.Classify(h); got != want {
+			t.Fatalf("delta engine %d != rebuilt %d for %s", got, want, h)
+		}
+		if got, want := updated.Classify(h), next.FirstMatch(h); got != want {
+			t.Fatalf("delta engine %d != linear %d for %s", got, want, h)
+		}
+	}
+}
+
+func TestApplyDeltasLeavesReceiverUntouched(t *testing.T) {
+	e, _, rules, entries := deltaFixture(t, 48, 8, 13)
+	rs, _ := genSet(t, 48, ruleset.PrefixOnly, 13)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 400, MatchFraction: 0.8, Seed: 14})
+	before := make([]int, len(trace))
+	for i, h := range trace {
+		before[i] = e.Classify(h)
+	}
+	if _, err := e.ApplyDeltas(rules, entries); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if got := e.Classify(h); got != before[i] {
+			t.Fatalf("receiver decision changed after ApplyDeltas: %d != %d for %s", got, before[i], h)
+		}
+	}
+}
+
+// TestApplyDeltasSharesUntouchedVectors pins the copy-on-write contract:
+// only vectors a delta actually flips may be reallocated; a vector the
+// delta leaves alone must alias the parent engine's storage.
+func TestApplyDeltasSharesUntouchedVectors(t *testing.T) {
+	e, _, rules, entries := deltaFixture(t, 64, 4, 17)
+	updated, err := e.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for s := 0; s < e.Stages(); s++ {
+		for c := 0; c < 1<<uint(e.Stride()); c++ {
+			if updated.StageVector(s, c).SharesStorage(e.StageVector(s, c)) {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no stage vector shared with the parent: ApplyDeltas deep-copied the engine")
+	}
+
+	// The degenerate delta — replace an entry with its current value —
+	// flips no bits anywhere, so every vector must stay shared.
+	self, err := e.ApplyDeltas([]int{3}, []ruleset.Ternary{e.Expanded().Entries[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < e.Stages(); s++ {
+		for c := 0; c < 1<<uint(e.Stride()); c++ {
+			if !self.StageVector(s, c).SharesStorage(e.StageVector(s, c)) {
+				t.Fatalf("self-replacement cloned vector (stage %d, value %d)", s, c)
+			}
+		}
+	}
+}
+
+func TestApplyDeltasValidation(t *testing.T) {
+	e, _, rules, entries := deltaFixture(t, 32, 4, 19)
+	if _, err := e.ApplyDeltas(rules, entries[:len(entries)-1]); err == nil {
+		t.Fatal("accepted mismatched rules/entries lengths")
+	}
+	bad := append([]int(nil), rules...)
+	bad[0] = e.NumEntries()
+	if _, err := e.ApplyDeltas(bad, entries); err == nil {
+		t.Fatal("accepted out-of-range entry index")
+	}
+	// A range-expanded ruleset breaks the 1:1 rule/entry mapping: that is a
+	// structural delta and must be rejected.
+	rsFw := ruleset.Generate(ruleset.GenConfig{N: 48, Profile: ruleset.FirewallProfile, Seed: 20, DefaultRule: true})
+	exFw := rsFw.Expand()
+	if exFw.Len() == exFw.NumRules {
+		t.Skip("firewall profile produced no range expansion at this seed")
+	}
+	eFw, err := New(exFw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eFw.ApplyDeltas(rules[:1], entries[:1]); err == nil {
+		t.Fatal("accepted delta on a range-expanded engine")
+	}
+}
+
+// BenchmarkStrideBVUpdateEntry is CI's 0-allocs gate on the in-place write
+// primitive (the software analogue of the stage-memory write port).
+func BenchmarkStrideBVUpdateEntry(b *testing.B) {
+	rs, ex := genSet(b, 2048, ruleset.PrefixOnly, 21)
+	e, err := New(ex, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	donor := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 22})
+	entries := make([]ruleset.Ternary, len(donor.Rules))
+	for i, r := range donor.Rules {
+		entries[i] = r.TernaryEntries()[0]
+	}
+	// Pre-touch so copy-on-first-update happens outside the measured loop.
+	if err := e.UpdateEntry(0, entries[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.UpdateEntry(i%rs.Len(), entries[i%len(entries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrideBVApplyDeltas8(b *testing.B) {
+	e, _, rules, entries := deltaFixture(b, 2048, 8, 23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ApplyDeltas(rules, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

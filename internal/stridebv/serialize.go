@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"pktclass/internal/bitvec"
 	"pktclass/internal/packet"
@@ -100,7 +101,7 @@ func ReadImage(r io.Reader) (*Engine, error) {
 		//pclass:allow-mutate filling a freshly decoded, not-yet-shared expansion
 		ex.Parent[i] = p
 	}
-	e := &Engine{ex: ex, k: k, stages: stages, ne: ne}
+	e := &Engine{ex: ex, k: k, stages: stages, ne: ne, scratch: new(sync.Pool)}
 	e.mem = make([][]bitvec.Vector, stages)
 	word := make([]byte, 8)
 	for s := 0; s < stages; s++ {

@@ -40,8 +40,10 @@ type Engine struct {
 	ownsEntries bool
 	// scratch recycles per-goroutine lookup state (partial-result vector
 	// plus precomputed stage addresses) so the classification fast path
-	// allocates nothing in steady state.
-	scratch sync.Pool
+	// allocates nothing in steady state. It is held by pointer so a
+	// delta-derived engine (ApplyDeltas) shares the pool with its parent:
+	// the dimensions are identical and the warm workspaces survive swaps.
+	scratch *sync.Pool
 }
 
 // scratchState is one goroutine's reusable lookup workspace.
@@ -67,10 +69,11 @@ func New(ex *ruleset.Expanded, k int) (*Engine, error) {
 		return nil, fmt.Errorf("stridebv: empty ruleset")
 	}
 	e := &Engine{
-		ex:     ex,
-		k:      k,
-		stages: packet.NumStrides(k),
-		ne:     ex.Len(),
+		ex:      ex,
+		k:       k,
+		stages:  packet.NumStrides(k),
+		ne:      ex.Len(),
+		scratch: new(sync.Pool),
 	}
 	e.mem = make([][]bitvec.Vector, e.stages)
 	for s := range e.mem {
@@ -218,10 +221,18 @@ func (e *Engine) MultiMatch(h packet.Header) []int {
 
 // UpdateEntry reprograms ternary entry j in place: one bit-slice write per
 // stage memory, the incremental-update property of the bit-vector approach
-// (no global rebuild required). The engine copies its entry table on the
-// first update, so the caller's Expanded — possibly shared with a reference
-// engine for differential verification — is never mutated; Expanded()
-// reflects the engine's own post-update view.
+// (no global rebuild required). The write is unconditional — it restores
+// entry j's column from scratch, which is what makes it double as the
+// fault-scrub repair primitive — and allocates nothing in steady state.
+// The engine copies its entry table on the first update, so the caller's
+// Expanded — possibly shared with a reference engine for differential
+// verification — is never mutated; Expanded() reflects the engine's own
+// post-update view.
+//
+// UpdateEntry mutates live stage memory and must not run concurrently with
+// classification; for the publish-after-write variant that is safe under
+// concurrent readers (and skips stages whose stride condition did not
+// change), see ApplyDeltas.
 func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
 	if j < 0 || j >= e.ne {
 		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
@@ -231,6 +242,22 @@ func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
 	e.ex.Entries[j] = entry
 	e.writeEntry(j, entry)
 	return nil
+}
+
+// stageEqual reports whether two ternary entries impose the same match
+// condition on the k bits starting at off: equal care masks and equal
+// cared-about values. Bits at or past W never differ (both entries ignore
+// the zero padding).
+func stageEqual(a, b ruleset.Ternary, off, k int) bool {
+	for i := off; i < off+k && i < packet.W; i++ {
+		if a.Mask.Bit(i) != b.Mask.Bit(i) {
+			return false
+		}
+		if a.Mask.Bit(i) == 1 && a.Value.Bit(i) != b.Value.Bit(i) {
+			return false
+		}
+	}
+	return true
 }
 
 // ensureOwnedEntries detaches the engine's entry table from the Expanded it

@@ -1,0 +1,104 @@
+package tcam
+
+import (
+	"fmt"
+
+	"pktclass/internal/penc"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/srl"
+)
+
+// validateDeltas checks a delta batch against an expansion: matching index
+// and entry counts, in-range rows, and the 1:1 rule↔entry mapping the
+// per-row write path needs (a rule spanning several entries has no single
+// row to rewrite — that is a structural delta for the shadow-rebuild path).
+func validateDeltas(ex *ruleset.Expanded, rules []int, entries []ruleset.Ternary) error {
+	if len(rules) != len(entries) {
+		return fmt.Errorf("tcam: %d delta indices but %d entries", len(rules), len(entries))
+	}
+	if ex.Len() != ex.NumRules {
+		return fmt.Errorf("tcam: delta update needs a 1:1 rule/entry mapping (%d rules expand to %d entries)", ex.NumRules, ex.Len())
+	}
+	for _, j := range rules {
+		if j < 0 || j >= ex.Len() {
+			return fmt.Errorf("tcam: delta entry %d out of range [0,%d)", j, ex.Len())
+		}
+	}
+	return nil
+}
+
+// cowExpanded copies the entry table (the only field a row write touches)
+// and shares the parent map.
+func cowExpanded(ex *ruleset.Expanded) *ruleset.Expanded {
+	return &ruleset.Expanded{
+		Entries:  append([]ruleset.Ternary(nil), ex.Entries...),
+		Parent:   ex.Parent,
+		NumRules: ex.NumRules,
+	}
+}
+
+// ApplyDeltas applies a batch of single-entry rule replacements and returns
+// the resulting TCAM without touching the receiver, which keeps serving
+// concurrent searches until the caller publishes the result (atomic pointer
+// store). Only the entry table is copied; the write cost is O(delta).
+// rules[i] names the row replaced by entries[i]; later deltas win when
+// indices repeat. Requires the 1:1 rule↔entry mapping of a prefix-only
+// expansion.
+func (t *Behavioral) ApplyDeltas(rules []int, entries []ruleset.Ternary) (*Behavioral, error) {
+	if err := validateDeltas(t.ex, rules, entries); err != nil {
+		return nil, err
+	}
+	ex := cowExpanded(t.ex)
+	for i, j := range rules {
+		//pclass:allow-mutate the entry table is a private copy made above
+		ex.Entries[j] = entries[i]
+	}
+	return &Behavioral{ex: ex}, nil
+}
+
+// ApplyDeltas applies a batch of single-entry rule replacements through the
+// SRL16E write path and returns the resulting TCAM: each touched row is a
+// freshly programmed cell array — every cell's 16-entry truth table shifted
+// in over WriteCycles clock cycles, all 52 cells of the row in parallel,
+// exactly the paper's Section IV-B write — while untouched rows keep
+// sharing their cells with the receiver. The single write port serializes
+// rows, so the returned TCAM's cycle counter has advanced by
+// len(rules)×WriteCycles of port occupancy.
+//
+// The receiver is never modified: in hardware the mid-shift row is simply
+// excluded from matching while it reprograms; in software the same hazard
+// window is closed by publishing the updated TCAM only after every row has
+// finished shifting. rules[i] names the row replaced by entries[i]; later
+// deltas win when indices repeat. Requires the 1:1 rule↔entry mapping of a
+// prefix-only expansion.
+func (t *FPGA) ApplyDeltas(rules []int, entries []ruleset.Ternary) (*FPGA, error) {
+	if err := validateDeltas(t.ex, rules, entries); err != nil {
+		return nil, err
+	}
+	n := &FPGA{
+		ex:      cowExpanded(t.ex),
+		cells:   append([][]srl.Cell(nil), t.cells...),
+		valid:   append([]bool(nil), t.valid...),
+		shadow:  append([]ruleset.Ternary(nil), t.shadow...),
+		pe:      penc.NewPipelined(maxInt(len(t.cells), 1)),
+		cycle:   t.cycle,
+		writing: -1,
+	}
+	for i, idx := range rules {
+		row := make([]srl.Cell, CellsPerEntry)
+		cycles := 0
+		for c := 0; c < CellsPerEntry; c++ {
+			// All of a row's cells shift in parallel: the row costs
+			// WriteCycles regardless of width.
+			cycles = row[c].Write(entryBits(entries[i].Value, c), entryBits(entries[i].Mask, c))
+		}
+		n.cells[idx] = row
+		n.shadow[idx] = entries[i]
+		n.valid[idx] = true
+		//pclass:allow-mutate the entry table is a private copy made above
+		n.ex.Entries[idx] = entries[i]
+		n.cycle += int64(cycles)
+	}
+	n.busyUntil = n.cycle
+	return n, nil
+}

@@ -1,0 +1,130 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"pktclass/internal/ruleset"
+)
+
+// tcamDeltaFixture mirrors the serving layer's lowered delta batch: random
+// row indices replaced by prefix-only donor entries, plus the post-delta
+// ruleset for the linear reference.
+func tcamDeltaFixture(t testing.TB, n, deltas int, seed int64) (*ruleset.RuleSet, *ruleset.Expanded, *ruleset.RuleSet, []int, []ruleset.Ternary) {
+	t.Helper()
+	rs, ex := genSet(t, n, ruleset.PrefixOnly, seed)
+	donor := ruleset.Generate(ruleset.GenConfig{N: deltas, Profile: ruleset.PrefixOnly, Seed: seed + 1})
+	rng := rand.New(rand.NewSource(seed + 2))
+	next := rs.Clone()
+	rules := make([]int, deltas)
+	entries := make([]ruleset.Ternary, deltas)
+	for i := 0; i < deltas; i++ {
+		j := rng.Intn(rs.Len())
+		rules[i] = j
+		te := donor.Rules[i].TernaryEntries()
+		if len(te) != 1 {
+			t.Fatalf("donor rule %d expands to %d entries", i, len(te))
+		}
+		entries[i] = te[0]
+		//pclass:allow-mutate writing the fixture's private clone
+		next.Rules[j] = donor.Rules[i]
+	}
+	return rs, ex, next, rules, entries
+}
+
+func TestBehavioralApplyDeltasEqualsRebuild(t *testing.T) {
+	rs, ex, next, rules, entries := tcamDeltaFixture(t, 64, 10, 31)
+	eng := NewBehavioral(ex)
+	updated, err := eng.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{Count: 500, MatchFraction: 0.8, Seed: 32})
+	for _, h := range trace {
+		if got, want := updated.Classify(h), next.FirstMatch(h); got != want {
+			t.Fatalf("delta TCAM %d != linear %d for %s", got, want, h)
+		}
+		// The receiver must still answer for the pre-delta ruleset.
+		if got, want := eng.Classify(h), rs.FirstMatch(h); got != want {
+			t.Fatalf("receiver changed: %d != %d for %s", got, want, h)
+		}
+	}
+}
+
+func TestFPGAApplyDeltasEqualsRebuild(t *testing.T) {
+	_, ex, next, rules, entries := tcamDeltaFixture(t, 32, 6, 33)
+	fpga := NewFPGA(ex)
+	updated, err := fpga.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewBehavioral(next.Expand())
+	trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 34})
+	for _, h := range trace {
+		if got, want := updated.Classify(h), ref.Classify(h); got != want {
+			t.Fatalf("delta FPGA %d != behavioral %d for %s", got, want, h)
+		}
+	}
+}
+
+// TestFPGAApplyDeltasCycleAccounting pins the SRL16E write-port model: each
+// touched row shifts for WriteCycles on the single serialized port, so a
+// k-row delta advances the derived TCAM's clock by exactly k×WriteCycles
+// while the receiver's clock never moves.
+func TestFPGAApplyDeltasCycleAccounting(t *testing.T) {
+	_, ex, _, rules, entries := tcamDeltaFixture(t, 32, 5, 35)
+	fpga := NewFPGA(ex)
+	before := fpga.Cycle()
+	updated, err := fpga.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpga.Cycle() != before {
+		t.Fatalf("receiver clock advanced: %d -> %d", before, fpga.Cycle())
+	}
+	want := before + int64(len(rules))*int64(WriteCycles)
+	if updated.Cycle() != want {
+		t.Fatalf("derived clock %d, want %d (%d rows x %d cycles)",
+			updated.Cycle(), want, len(rules), WriteCycles)
+	}
+}
+
+func TestTCAMApplyDeltasValidation(t *testing.T) {
+	_, ex, _, rules, entries := tcamDeltaFixture(t, 32, 4, 37)
+	eng := NewBehavioral(ex)
+	if _, err := eng.ApplyDeltas(rules, entries[:len(entries)-1]); err == nil {
+		t.Fatal("accepted mismatched rules/entries lengths")
+	}
+	bad := append([]int(nil), rules...)
+	bad[0] = ex.Len()
+	if _, err := eng.ApplyDeltas(bad, entries); err == nil {
+		t.Fatal("accepted out-of-range row")
+	}
+	rsFw := ruleset.Generate(ruleset.GenConfig{N: 48, Profile: ruleset.FirewallProfile, Seed: 38, DefaultRule: true})
+	exFw := rsFw.Expand()
+	if exFw.Len() == exFw.NumRules {
+		t.Skip("firewall profile produced no range expansion at this seed")
+	}
+	if _, err := NewBehavioral(exFw).ApplyDeltas(rules[:1], entries[:1]); err == nil {
+		t.Fatal("accepted delta on a range-expanded TCAM")
+	}
+	if _, err := NewFPGA(exFw).ApplyDeltas(rules[:1], entries[:1]); err == nil {
+		t.Fatal("accepted delta on a range-expanded FPGA TCAM")
+	}
+}
+
+// BenchmarkTCAMFPGAWrite is CI's 0-allocs gate on the SRL16E shift-in
+// write primitive.
+func BenchmarkTCAMFPGAWrite(b *testing.B) {
+	_, ex := genSet(b, 512, ruleset.PrefixOnly, 39)
+	fpga := NewFPGA(ex)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles, err := fpga.Write(i%ex.Len(), ex.Entries[(i+1)%ex.Len()])
+		if err != nil {
+			b.Fatal(err)
+		}
+		fpga.Advance(int64(cycles))
+	}
+}

@@ -1,0 +1,162 @@
+package update
+
+import (
+	"errors"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/flowcache"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+	"pktclass/internal/tcam"
+)
+
+func TestApplyToRuleSetNoOpReturnsInput(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 16, Profile: ruleset.PrefixOnly, Seed: 41})
+	out, err := ApplyToRuleSet(rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != rs {
+		t.Fatal("empty delta cloned the ruleset; callers use pointer equality to skip the rebuild")
+	}
+	out, err = ApplyToRuleSet(rs, []Op{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != rs {
+		t.Fatal("empty op slice cloned the ruleset")
+	}
+}
+
+func TestDeltasLowering(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.PrefixOnly, Seed: 42, DefaultRule: true})
+	ops, err := GenerateOps(rs, 6, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, entries, err := Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != len(ops) || len(entries) != len(ops) {
+		t.Fatalf("lowered %d/%d deltas from %d ops", len(rules), len(entries), len(ops))
+	}
+	for i, op := range ops {
+		if rules[i] != op.Index {
+			t.Fatalf("delta %d row %d, want %d", i, rules[i], op.Index)
+		}
+		if want := op.Rule.TernaryEntries()[0]; entries[i] != want {
+			t.Fatalf("delta %d entry mismatch", i)
+		}
+	}
+	// A range rule expanding to several entries is structural: Deltas must
+	// refuse with ErrDeltaUnsupported so the caller falls back to rebuild.
+	multi := ruleset.Rule{
+		SIP: ruleset.Prefix{Bits: 32}, DIP: ruleset.Prefix{Bits: 32},
+		SP:    ruleset.PortRange{Lo: 1, Hi: 6},
+		DP:    ruleset.FullPortRange,
+		Proto: ruleset.AnyProtocol,
+	}
+	if n := len(multi.TernaryEntries()); n < 2 {
+		t.Fatalf("fixture rule expands to %d entries, want >= 2", n)
+	}
+	if _, _, err := Deltas([]Op{{Index: 0, Rule: multi}}); !errors.Is(err, ErrDeltaUnsupported) {
+		t.Fatalf("structural op error = %v, want ErrDeltaUnsupported", err)
+	}
+}
+
+func TestApplyDeltasToEngineRoutesEveryFamily(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 48, Profile: ruleset.PrefixOnly, Seed: 44, DefaultRule: true})
+	ops, err := GenerateOps(rs, 8, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, entries, err := Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := ApplyToRuleSet(rs, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbv, err := stridebv.New(rs.Expand(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []core.Engine{
+		sbv,
+		tcam.NewBehavioral(rs.Expand()),
+		tcam.NewFPGA(rs.Expand()),
+		// A cached wrapper must be peeled before dispatch.
+		core.NewCached(tcam.NewBehavioral(rs.Expand()), flowcache.New(flowcache.Config{Entries: 64})),
+	}
+	trace := ruleset.GenerateTrace(next, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 46})
+	for _, eng := range engines {
+		out, err := ApplyDeltasToEngine(eng, rules, entries)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		for _, h := range trace {
+			if got, want := out.Classify(h), next.FirstMatch(h); got != want {
+				t.Fatalf("%s: delta engine %d != linear %d for %s", eng.Name(), got, want, h)
+			}
+		}
+	}
+	// The linear engine has no incremental primitive.
+	if _, err := ApplyDeltasToEngine(core.NewLinear(rs), rules, entries); !errors.Is(err, ErrDeltaUnsupported) {
+		t.Fatalf("linear error = %v, want ErrDeltaUnsupported", err)
+	}
+}
+
+// TestVerifyDeltasScopedCatchesBadDelta injects the failure the scoped
+// verify exists for: the engine applied a different delta than the ruleset
+// records. The directed probes at the touched rule's regions must find the
+// divergence.
+func TestVerifyDeltasScopedCatchesBadDelta(t *testing.T) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 64, Profile: ruleset.PrefixOnly, Seed: 47, DefaultRule: true})
+	ops, err := GenerateOps(rs, 4, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, entries, err := Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := ApplyToRuleSet(rs, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stridebv.New(rs.Expand(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := eng.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := VerifyDeltasScoped(good, rs, next, rules, 16, 49); m != nil {
+		t.Fatalf("clean delta flagged: %s", m)
+	}
+	// Corrupt one row: the engine stores a fully-specified entry matching
+	// only the all-zero header, while the ruleset still records the real
+	// replacement — the engine has effectively dropped the rule.
+	var dead ruleset.Ternary
+	for i := range dead.Mask {
+		dead.Mask[i] = 0xFF
+	}
+	bad, err := eng.ApplyDeltas([]int{rules[0]}, []ruleset.Ternary{dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for seed := int64(50); seed < 58; seed++ {
+		if m := VerifyDeltasScoped(bad, rs, next, rules, 16, seed); m != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("scoped verify missed a corrupted delta across 8 seeds")
+	}
+}

@@ -20,9 +20,11 @@
 package update
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"pktclass/internal/core"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/stridebv"
@@ -125,8 +127,14 @@ func ApplyToTCAM(fp *tcam.FPGA, rs *ruleset.RuleSet, ops []Op) (Cost, error) {
 // ApplyToRuleSet returns a new ruleset with the ops applied, leaving the
 // input untouched. This is the shadow-copy path the serving layer uses:
 // the live engine keeps classifying against the old ruleset while a
-// replacement engine is built from the returned clone.
+// replacement engine is built from the returned clone. A no-op delta (an
+// empty op list) returns the input itself, uncloned: callers compare the
+// result against the input to detect that nothing changed and skip the
+// engine rebuild entirely.
 func ApplyToRuleSet(rs *ruleset.RuleSet, ops []Op) (*ruleset.RuleSet, error) {
+	if len(ops) == 0 {
+		return rs, nil
+	}
 	out := rs.Clone()
 	for _, op := range ops {
 		if op.Index < 0 || op.Index >= out.Len() {
@@ -136,6 +144,108 @@ func ApplyToRuleSet(rs *ruleset.RuleSet, ops []Op) (*ruleset.RuleSet, error) {
 		out.Rules[op.Index] = op.Rule
 	}
 	return out, nil
+}
+
+// ErrDeltaUnsupported reports that an engine has no incremental update
+// primitive (or the delta is structural for it); errors.Is lets callers
+// fall back to the shadow-rebuild path.
+var ErrDeltaUnsupported = errors.New("update: no incremental delta path")
+
+// Deltas lowers rule-replacement ops to the per-row form the engines'
+// in-place update primitives consume: rules[i] is the row (== rule index
+// under the 1:1 prefix-only mapping) that entries[i] replaces. It fails
+// when a replacement expands to more than one ternary entry — a structural
+// delta that must take the shadow-rebuild path instead.
+func Deltas(ops []Op) (rules []int, entries []ruleset.Ternary, err error) {
+	rules = make([]int, len(ops))
+	entries = make([]ruleset.Ternary, len(ops))
+	for i, op := range ops {
+		te := op.Rule.TernaryEntries()
+		if len(te) != 1 {
+			return nil, nil, fmt.Errorf("update: op %d replacement expands to %d entries, want 1: %w", i, len(te), ErrDeltaUnsupported)
+		}
+		rules[i] = op.Index
+		entries[i] = te[0]
+	}
+	return rules, entries, nil
+}
+
+// ApplyDeltasToEngine routes a lowered delta batch to the engine family's
+// incremental update primitive: the per-stride stage-memory bit flip for
+// StrideBV, the per-row (SRL16E shift-in on the FPGA model) write for the
+// TCAMs. The receiver engine is never modified — the returned engine
+// shares all untouched state with it and is safe to publish to concurrent
+// readers with an atomic pointer store. Engines without an incremental
+// primitive, and structural deltas (capacity growth, expansion-factor
+// change), report an error wrapping ErrDeltaUnsupported; the caller falls
+// back to shadow rebuild.
+func ApplyDeltasToEngine(eng core.Engine, rules []int, entries []ruleset.Ternary) (core.Engine, error) {
+	switch e := core.Unwrap(eng).(type) {
+	case *stridebv.Engine:
+		out, err := e.ApplyDeltas(rules, entries)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
+		}
+		return out, nil
+	case *tcam.Behavioral:
+		out, err := e.ApplyDeltas(rules, entries)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
+		}
+		return out, nil
+	case *tcam.FPGA:
+		out, err := e.ApplyDeltas(rules, entries)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("update: %s: %w", eng.Name(), ErrDeltaUnsupported)
+	}
+}
+
+// VerifyDeltasScoped differentially checks an incrementally updated engine
+// against the linear reference of the post-update ruleset, scoping the
+// sweep to what the delta could have broken instead of re-verifying the
+// whole classifier: for every touched rule index it directs probe headers
+// into both the old rule's match region (its stale state must be gone —
+// the failure mode of a write that did not clear bits) and the new rule's
+// region (the new condition must hit — the failure mode of a write that
+// did not set them), then adds spot sampled headers across the rest of the
+// ruleset as a canary against writes that strayed outside the touched
+// rows. prev and next are the rulesets before and after the delta; rules
+// holds the touched indices. It returns the first divergence, or nil.
+func VerifyDeltasScoped(eng core.Engine, prev, next *ruleset.RuleSet, rules []int, spot int, seed int64) *core.Mismatch {
+	rng := rand.New(rand.NewSource(seed))
+	check := func(h packet.Header) *core.Mismatch {
+		if got, want := eng.Classify(h), next.FirstMatch(h); got != want {
+			return &core.Mismatch{Header: h, Want: want, Got: got, Engine: eng.Name(), Kind: "classify"}
+		}
+		return nil
+	}
+	// One directed probe per region: each probe pays an O(N) linear
+	// FirstMatch, so the probe count bounds the sustainable update rate —
+	// one stale-region and one new-region probe per touched rule covers
+	// both single-rule failure modes, and the spot sweep below covers
+	// cross-rule damage.
+	for _, j := range rules {
+		if m := check(ruleset.HeaderInRule(prev.Rules[j], rng)); m != nil {
+			return m
+		}
+		if m := check(ruleset.HeaderInRule(next.Rules[j], rng)); m != nil {
+			return m
+		}
+	}
+	for i := 0; i < spot; i++ {
+		h := ruleset.RandomHeader(rng)
+		if rng.Float64() < 0.8 {
+			h = ruleset.HeaderInRule(next.Rules[rng.Intn(next.Len())], rng)
+		}
+		if m := check(h); m != nil {
+			return m
+		}
+	}
+	return nil
 }
 
 // VerifyAfterUpdates checks a live engine against a reference engine
