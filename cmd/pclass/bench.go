@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
@@ -36,16 +37,25 @@ type benchResult struct {
 	BatchSize    int     `json:"batch_size"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
 	Skew         string  `json:"skew,omitempty"`
+	Splitter     string  `json:"splitter,omitempty"`
+	Partitions   int     `json:"partitions,omitempty"`
+	PrefixBits   int     `json:"prefix_bits,omitempty"`
 	HitRate      float64 `json:"hit_rate,omitempty"`
 	NsPerPkt     float64 `json:"ns_per_pkt"`
 	PktsPerSec   float64 `json:"pkts_per_sec"`
 	AllocsPerPkt float64 `json:"allocs_per_pkt"`
 }
 
-// key identifies a configuration across snapshots for -compare.
+// key identifies a configuration across snapshots for -compare. The
+// partition fields are appended only when set, so keys written by older
+// snapshots (which predate the partitioned engine) still match.
 func (r benchResult) key() string {
-	return fmt.Sprintf("%s k=%d N=%d batch=%d cache=%d skew=%s",
+	k := fmt.Sprintf("%s k=%d N=%d batch=%d cache=%d skew=%s",
 		r.Engine, r.Stride, r.Rules, r.BatchSize, r.CacheEntries, r.Skew)
+	if r.Splitter != "" || r.Partitions != 0 || r.PrefixBits != 0 {
+		k += fmt.Sprintf(" split=%s parts=%d pb=%d", r.Splitter, r.Partitions, r.PrefixBits)
+	}
+	return k
 }
 
 // benchSnapshot is the BENCH_*.json document. The environment header
@@ -81,6 +91,10 @@ func runBench(args []string) {
 		compare    = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of benchmarking")
 		maxRegress = fs.Float64("max-regress", 0, "with -compare: exit non-zero when a gated config's ns/pkt regresses by more than this percent (0 disables the gate)")
 		gateCSV    = fs.String("gate", "stridebv,tcam,cached", "with -compare: engine names subject to -max-regress ('cached' gates every cache-fronted series)")
+		splitter   = fs.String("splitter", "", "partitioned engines: splitting policy, prefix | band (empty = engine default)")
+		partsFlag  = fs.Int("partitions", 0, "partitioned engines: band count (0 = derive from GOMAXPROCS)")
+		prefixBits = fs.Int("prefix-bits", 0, "partitioned engines: prefix pre-decoder width (0 = size from N)")
+		diffVerify = fs.Int("verify-diff", 0, "differentially verify each engine against the linear reference over this many headers before measuring (0 disables)")
 		churnFlag  = fs.Bool("churn", false, "measure sustained rule-update throughput (incremental vs rebuild) instead of classification rate")
 		churnDur   = fs.Duration("churn-dur", 800*time.Millisecond, "churn mode: duration of each measurement phase")
 		churnOps   = fs.Int("churn-ops", 64, "churn mode: rule replacements per update batch")
@@ -164,6 +178,8 @@ func runBench(args []string) {
 						cfg := benchConfig{
 							packets: *packets, profile: *profile, cache: cacheN,
 							skew: *skew, zipfS: zipfS, flows: *flows, burst: *burst, seed: *seedFlag,
+							splitter: *splitter, partitions: *partsFlag, prefixBits: *prefixBits,
+							verify: *diffVerify,
 						}
 						r, err := benchOne(name, k, n, cfg)
 						if err != nil {
@@ -197,14 +213,20 @@ func runBench(args []string) {
 }
 
 type benchConfig struct {
-	packets int
-	profile string
-	cache   int
-	skew    string
-	zipfS   float64 // < 0 means uniform
-	flows   int
-	burst   float64
-	seed    int64
+	packets    int
+	profile    string
+	cache      int
+	skew       string
+	zipfS      float64 // < 0 means uniform
+	flows      int
+	burst      float64
+	seed       int64
+	splitter   string
+	partitions int
+	prefixBits int
+	// verify > 0 differentially checks the engine against the linear
+	// reference over that many headers before timing anything.
+	verify int
 }
 
 // benchOne measures one engine configuration with the testing package's
@@ -224,9 +246,19 @@ func benchOne(name string, stride, rules int, cfg benchConfig) (benchResult, err
 	if buildStride == 0 {
 		buildStride = 4
 	}
-	eng, err := cli.BuildEngine(rs, name, buildStride)
+	eng, err := cli.BuildEngineOpts(rs, name, cli.Options{
+		Stride:     buildStride,
+		Partitions: cfg.partitions,
+		Splitter:   cfg.splitter,
+		PrefixBits: cfg.prefixBits,
+	})
 	if err != nil {
 		return benchResult{}, err
+	}
+	if cfg.verify > 0 {
+		if err := verifyAgainstLinear(eng, rs, cfg.verify, cfg.seed+7); err != nil {
+			return benchResult{}, err
+		}
 	}
 	var trace []packet.Header
 	if cfg.zipfS >= 0 {
@@ -272,6 +304,13 @@ func benchOne(name string, stride, rules int, cfg benchConfig) (benchResult, err
 	if cfg.zipfS >= 0 || cfg.cache > 0 {
 		r.Skew = cfg.skew
 	}
+	// Partition knobs only describe the partitioned engines; recording them
+	// on flat engines would fork their snapshot keys for no reason.
+	if strings.HasPrefix(name, "part-") {
+		r.Splitter = cfg.splitter
+		r.Partitions = cfg.partitions
+		r.PrefixBits = cfg.prefixBits
+	}
 	if cache != nil {
 		// Steady-state hit rate: the warm-up pass absorbs the cold misses.
 		st := cache.Stats()
@@ -283,6 +322,36 @@ func benchOne(name string, stride, rules int, cfg benchConfig) (benchResult, err
 		r.PktsPerSec = 1e9 / nsPerPkt
 	}
 	return r, nil
+}
+
+// verifyAgainstLinear differentially checks an engine against the
+// priority-ordered linear sweep of the same ruleset before any timing
+// starts — the -verify-diff gate CI leans on at the large-N sizes where
+// unit tests are too slow to build engines twice. Both the single-packet
+// and batched paths must agree with the reference on a directed trace
+// (headers steered into rule regions) plus uniform-random headers.
+func verifyAgainstLinear(eng core.Engine, rs *ruleset.RuleSet, count int, seed int64) error {
+	directed := count * 3 / 4
+	hdrs := ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Count: directed, MatchFraction: 0.9, Locality: 0.3, Seed: seed,
+	})
+	rng := rand.New(rand.NewSource(seed + 1))
+	for len(hdrs) < count {
+		hdrs = append(hdrs, ruleset.RandomHeader(rng))
+	}
+	lin := core.NewLinear(rs)
+	batch := make([]int, len(hdrs))
+	core.ClassifyBatchInto(eng, hdrs, batch)
+	for i, h := range hdrs {
+		want := lin.Classify(h)
+		if got := eng.Classify(h); got != want {
+			return fmt.Errorf("verify: %s diverges from linear on %s: got %d want %d", eng.Name(), h, got, want)
+		}
+		if batch[i] != want {
+			return fmt.Errorf("verify: %s batch path diverges from linear on %s: got %d want %d", eng.Name(), h, batch[i], want)
+		}
+	}
+	return nil
 }
 
 // parseCacheList parses the -cache CSV; unlike parseInts it accepts 0

@@ -30,6 +30,9 @@ func runServe(args []string) {
 		rulesPath   = fs.String("rules", "", "ruleset file (required; prefix-only when hot-swaps are enabled)")
 		engine      = fs.String("engine", "stridebv", "engine: "+strings.Join(cli.EngineNames(), " | "))
 		stride      = fs.Int("stride", 4, "stride length for stridebv/rangebv")
+		splitter    = fs.String("splitter", "", "partitioned engines: splitting policy, prefix | band (empty = engine default; band keeps every hot-swap on the O(delta) path)")
+		partsN      = fs.Int("partitions", 0, "partitioned engines: band count (0 = derive from GOMAXPROCS)")
+		prefixBits  = fs.Int("prefix-bits", 0, "partitioned engines: prefix pre-decoder width (0 = size from N)")
 		workers     = fs.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
 		queue       = fs.Int("queue", 0, "submission queue depth in batches (0 = 4 per worker)")
 		batch       = fs.Int("batch", 64, "packets per submitted batch")
@@ -66,7 +69,9 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	build := cli.EngineBuilder(*engine, *stride)
+	build := cli.EngineBuilderOpts(*engine, cli.Options{
+		Stride: *stride, Partitions: *partsN, Splitter: *splitter, PrefixBits: *prefixBits,
+	})
 
 	// Observability is on whenever either flag asks for it: -obsv alone
 	// serves histograms and pprof, -sample alone records traces for the

@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+)
+
+// The batch path fans the steered partitions out across a package-level
+// worker pool — the software analogue of P sub-engines searching in
+// parallel on the fabric. A shared pool (rather than per-engine worker
+// goroutines) keeps hot-swap cheap: delta-derived and rebuilt engines come
+// and go under internal/serve without leaking goroutines, and the workers
+// stay warm across swaps. Submission is non-blocking: when every worker is
+// busy the submitting goroutine runs the task inline, so throughput
+// degrades to sequential instead of deadlocking and the pool needs no
+// shutdown protocol.
+
+// batchTask is one partition's share of a batch. Tasks live in the
+// engine's recycled batch scratch, so the steady-state path allocates
+// nothing.
+type batchTask struct {
+	eng  core.Engine
+	hdrs []packet.Header
+	out  []int
+	wg   *sync.WaitGroup
+}
+
+func (t *batchTask) run() {
+	core.ClassifyBatchInto(t.eng, t.hdrs, t.out)
+	t.wg.Done()
+}
+
+var (
+	workersOnce sync.Once
+	taskCh      chan *batchTask
+)
+
+func startWorkers() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	taskCh = make(chan *batchTask, 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range taskCh {
+				t.run()
+			}
+		}()
+	}
+}
+
+// submit hands a task to the pool, or runs it inline when the pool is
+// saturated. Workers never submit, so inline fallback cannot deadlock.
+func submit(t *batchTask) {
+	select {
+	case taskCh <- t:
+	default:
+		t.run()
+	}
+}
+
+// batchScratch is one ClassifyBatch invocation's reusable workspace.
+type batchScratch struct {
+	// Per part: gathered headers, gathered packet indices, and the part's
+	// local results (parallel to hdrs/idx).
+	hdrs [][]packet.Header
+	idx  [][]int32
+	res  [][]int
+	// alwaysRes[i] holds always-part i's results over the full batch.
+	alwaysRes [][]int
+	best      []int32
+	tasks     []batchTask
+	wg        sync.WaitGroup
+}
+
+func (e *Engine) getBatchScratch(batch int) *batchScratch {
+	sc, ok := e.scratch.Get().(*batchScratch)
+	if !ok {
+		sc = &batchScratch{
+			hdrs:      make([][]packet.Header, len(e.parts)),
+			idx:       make([][]int32, len(e.parts)),
+			res:       make([][]int, len(e.parts)),
+			alwaysRes: make([][]int, len(e.always)),
+			tasks:     make([]batchTask, len(e.parts)+len(e.always)),
+		}
+	}
+	for pi := range sc.hdrs {
+		sc.hdrs[pi] = sc.hdrs[pi][:0]
+		sc.idx[pi] = sc.idx[pi][:0]
+	}
+	if cap(sc.best) < batch {
+		sc.best = make([]int32, batch)
+	}
+	sc.best = sc.best[:batch]
+	return sc
+}
+
+// ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
+// path): packets are steered to their partitions, each partition's share
+// is searched as one sub-batch on the worker pool, and the winners are
+// min-merged by global rule index. Safe for concurrent use; allocation-
+// free in steady state once the recycled scratch has warmed up.
+func (e *Engine) ClassifyBatch(hdrs []packet.Header, out []int) {
+	workersOnce.Do(startWorkers)
+	sc := e.getBatchScratch(len(hdrs))
+	nt := 0
+
+	// Steer: gather each bucket part's packets. Residual/band parts take
+	// the whole batch and need no gathering.
+	if e.splitter == PrefixSplit {
+		for i, h := range hdrs {
+			k := h.Key()
+			if pi := e.dipPart[k.Stride(packet.DIPOff, e.prefixBits)]; pi >= 0 {
+				sc.hdrs[pi] = append(sc.hdrs[pi], h)
+				sc.idx[pi] = append(sc.idx[pi], int32(i))
+			}
+			if pi := e.sipPart[k.Stride(packet.SIPOff, e.prefixBits)]; pi >= 0 {
+				sc.hdrs[pi] = append(sc.hdrs[pi], h)
+				sc.idx[pi] = append(sc.idx[pi], int32(i))
+			}
+		}
+		for pi := range e.parts {
+			n := len(sc.hdrs[pi])
+			if n == 0 {
+				continue
+			}
+			if cap(sc.res[pi]) < n {
+				sc.res[pi] = make([]int, n)
+			}
+			sc.res[pi] = sc.res[pi][:n]
+			sc.tasks[nt] = batchTask{eng: e.parts[pi].eng, hdrs: sc.hdrs[pi], out: sc.res[pi], wg: &sc.wg}
+			nt++
+		}
+	}
+	for ai, pi := range e.always {
+		if cap(sc.alwaysRes[ai]) < len(hdrs) {
+			sc.alwaysRes[ai] = make([]int, len(hdrs))
+		}
+		sc.alwaysRes[ai] = sc.alwaysRes[ai][:len(hdrs)]
+		sc.tasks[nt] = batchTask{eng: e.parts[pi].eng, hdrs: hdrs, out: sc.alwaysRes[ai], wg: &sc.wg}
+		nt++
+	}
+
+	sc.wg.Add(nt)
+	for i := 1; i < nt; i++ {
+		submit(&sc.tasks[i])
+	}
+	if nt > 0 {
+		// Run one share on the submitting goroutine: it has nothing else
+		// to do until the merge, and this guarantees forward progress even
+		// with a fully saturated pool.
+		sc.tasks[0].run()
+	}
+	sc.wg.Wait()
+
+	e.mergeBatch(sc, hdrs, out)
+	e.scratch.Put(sc)
+}
+
+// mergeBatch min-merges every partition's local winners into the global
+// result: partitions hold disjoint rule subsets with order-preserving
+// local-to-global maps, so the lowest global index across partitions is
+// exactly the flat engine's first match.
+//
+//pclass:hotpath
+func (e *Engine) mergeBatch(sc *batchScratch, hdrs []packet.Header, out []int) {
+	best := sc.best
+	for i := range best {
+		best[i] = math.MaxInt32
+	}
+	for ai, pi := range e.always {
+		p := &e.parts[pi]
+		for i, l := range sc.alwaysRes[ai] {
+			if l >= 0 {
+				if g := p.global[l]; g < best[i] {
+					best[i] = g
+				}
+			}
+		}
+	}
+	if e.splitter == PrefixSplit {
+		for pi := range e.parts {
+			p := &e.parts[pi]
+			res := sc.res[pi]
+			// Iterate the (freshly steered) index list, not res: a part
+			// with no packets this batch keeps its stale result capacity.
+			for t, i := range sc.idx[pi] {
+				if l := res[t]; l >= 0 {
+					if g := p.global[l]; g < best[i] {
+						best[i] = g
+					}
+				}
+			}
+		}
+	}
+	for i := range best {
+		if best[i] == math.MaxInt32 {
+			out[i] = -1
+		} else {
+			out[i] = int(best[i])
+		}
+	}
+}

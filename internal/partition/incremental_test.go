@@ -1,0 +1,129 @@
+package partition_test
+
+import (
+	"errors"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/partition"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/update"
+)
+
+// steerableIndex finds a rule whose DIP prefix covers b bits (so it lives
+// in a DIP bucket and a same-bucket replacement is steering-stable).
+func steerableIndex(rs *ruleset.RuleSet, b int) int {
+	for i, r := range rs.Rules {
+		if r.DIP.Len >= b && r.DIP.Len < 32 {
+			return i
+		}
+	}
+	return -1
+}
+
+// narrowDIP returns a copy of the rule with its DIP narrowed to a full /32
+// inside the same bucket — a steering-stable replacement that still
+// changes match semantics.
+func narrowDIP(r ruleset.Rule) ruleset.Rule {
+	r.DIP = ruleset.Prefix{Value: r.DIP.Value, Bits: 32, Len: 32}
+	return r
+}
+
+func TestPartitionApplyDeltasRoutesToOnePart(t *testing.T) {
+	rs := genSet(t, 128, ruleset.PrefixOnly, 151)
+	part, err := partition.New(rs, partition.Config{Build: buildStride, PrefixBits: 2, Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := steerableIndex(rs, 2)
+	if j < 0 {
+		t.Fatal("no DIP-steerable rule in fixture")
+	}
+	repl := narrowDIP(rs.Rules[j])
+	ops := []update.Op{{Index: j, Rule: repl}}
+	rules, entries, err := update.Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := rs.Clone()
+	//pclass:allow-mutate writing the test's private clone, not the shared input
+	next.Rules[j] = repl
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: 152})
+	prevWant := make([]int, len(trace))
+	for i, h := range trace {
+		prevWant[i] = part.Classify(h)
+	}
+
+	out, err := update.ApplyDeltasToEngine(part, rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, ok := out.(*partition.Engine)
+	if !ok {
+		t.Fatalf("delta produced %T, want *partition.Engine", out)
+	}
+	if m := update.VerifyDeltasScoped(child, rs, next, rules, 64, 153); m != nil {
+		t.Fatalf("scoped verify failed: %+v", m)
+	}
+	lin := core.NewLinear(next)
+	for _, h := range trace {
+		if got, want := child.Classify(h), lin.Classify(h); got != want {
+			t.Fatalf("child diverges post-delta: got %d want %d for %s", got, want, h)
+		}
+	}
+	// The receiver must be untouched — concurrent readers still hold it.
+	for i, h := range trace {
+		if got := part.Classify(h); got != prevWant[i] {
+			t.Fatalf("parent changed after delta: got %d want %d", got, prevWant[i])
+		}
+	}
+}
+
+func TestPartitionApplyDeltasRejectsSteeringChange(t *testing.T) {
+	rs := genSet(t, 128, ruleset.PrefixOnly, 161)
+	part, err := partition.New(rs, partition.Config{Build: buildStride, PrefixBits: 2, Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := steerableIndex(rs, 2)
+	if j < 0 {
+		t.Fatal("no DIP-steerable rule in fixture")
+	}
+	// Replace the bucketed rule with a full wildcard: its steering moves to
+	// the residual bands, which the partitioning layer cannot express as an
+	// in-place delta.
+	ops := []update.Op{{Index: j, Rule: ruleset.NewWildcardRule(ruleset.Action{Port: 9})}}
+	rules, entries, err := update.Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := update.ApplyDeltasToEngine(part, rules, entries); !errors.Is(err, update.ErrDeltaUnsupported) {
+		t.Fatalf("steering-changing delta returned %v, want ErrDeltaUnsupported", err)
+	}
+}
+
+func TestPartitionApplyDeltasBandSplitAlwaysStable(t *testing.T) {
+	rs := genSet(t, 96, ruleset.PrefixOnly, 171)
+	part, err := partition.New(rs, partition.Config{Build: buildStride, Splitter: partition.BandSplit, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band membership depends only on the rule index, so even a wildcard
+	// replacement is steering-stable under BandSplit.
+	ops := []update.Op{{Index: 3, Rule: ruleset.NewWildcardRule(ruleset.Action{Port: 7})}}
+	rules, entries, err := update.Deltas(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := rs.Clone()
+	//pclass:allow-mutate writing the test's private clone, not the shared input
+	next.Rules[3] = ops[0].Rule
+	out, err := update.ApplyDeltasToEngine(part, rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := update.VerifyDeltasScoped(out, rs, next, rules, 64, 172); m != nil {
+		t.Fatalf("scoped verify failed: %+v", m)
+	}
+}

@@ -1,0 +1,476 @@
+// Package partition breaks the paper's 2048-rule evaluation ceiling: it
+// splits a ruleset into P sub-engines searched in parallel and merges the
+// per-partition winners by priority (lowest global rule index wins).
+//
+// The paper's engines are deliberately ruleset-feature independent, but
+// their cost is O(Ne) per lookup, which caps practical ruleset size. The
+// FPGA literature scales these architectures by partitioning: balanced
+// sub-tries searched by bidirectional pipelines ("Bidirectional Pipelining
+// for Scalable IP Lookup and Packet Classification") and key-steered
+// parallel sub-engines ("High Performance Architecture for Flow-Table
+// Lookup in SDN on FPGA"). This package reproduces both organizations in
+// software:
+//
+//   - PrefixSplit reuses the pre-decoder idea from tcam.Partitioned at the
+//     ruleset level: rules whose destination-IP prefix covers the top B
+//     bits land in one of 2^B DIP buckets; rules that wildcard the DIP
+//     head but pin the source-IP head land in an SIP bucket; the residual
+//     (both heads short) is split into priority bands. A lookup touches
+//     one DIP bucket, one SIP bucket and the residual bands — typically a
+//     small fraction of N — so classification cost grows with bucket
+//     population, not ruleset size.
+//   - BandSplit slices the ruleset into P contiguous priority bands
+//     balanced by ternary entry count (the hardware unit of cost). Every
+//     band is searched for every packet; the point is parallel latency,
+//     and it serves as the feature-independent fallback when the ruleset
+//     has no prefix structure to steer on.
+//
+// Each partition is itself any core.Engine (StrideBV with its own stage
+// memories, a TCAM model, the linear reference) built by the caller's
+// Build hook over the partition's sub-ruleset. Results are identical to a
+// flat engine over the whole ruleset: every rule lives in exactly one
+// partition, and the cross-partition merge takes the minimum surviving
+// global rule index.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+// Splitter selects the rule-to-partition assignment policy.
+type Splitter string
+
+const (
+	// PrefixSplit steers by IP prefix heads (DIP buckets, SIP fallback,
+	// residual priority bands) — sub-linear lookups on structured rulesets.
+	PrefixSplit Splitter = "prefix"
+	// BandSplit slices into contiguous priority bands balanced by entry
+	// count — feature-independent, parallel-latency only.
+	BandSplit Splitter = "band"
+)
+
+// MaxPrefixBits bounds the pre-decoder width (2^B buckets per IP field).
+const MaxPrefixBits = 10
+
+// Config parameterizes the partitioning layer.
+type Config struct {
+	// Splitter is the assignment policy; default PrefixSplit.
+	Splitter Splitter
+	// Parts is the band count (BandSplit) or residual band count
+	// (PrefixSplit). 0 derives it from GOMAXPROCS.
+	Parts int
+	// PrefixBits is the pre-decoder width B for PrefixSplit; 0 sizes it
+	// from N so the average bucket holds ~2048 rules (the paper's proven
+	// operating point for a flat engine).
+	PrefixBits int
+	// Build constructs the sub-engine over one partition's ruleset.
+	Build func(*ruleset.RuleSet) (core.Engine, error)
+}
+
+// part is one sub-engine plus its local-to-global rule index map.
+type part struct {
+	eng core.Engine
+	// global[l] is the original ruleset index of the part's rule l. It is
+	// strictly increasing: partitions preserve relative priority.
+	global []int32
+	// minGlobal = global[0]; a searched part whose best possible result
+	// already loses to the current winner is skipped.
+	minGlobal int32
+	// kind/bucket record the steering identity the part was built under,
+	// so the incremental-update path can verify a replacement entry still
+	// steers to the same part.
+	kind   steerKind
+	bucket int32
+}
+
+// partLoc locates a global rule inside the partition set.
+type partLoc struct{ part, local int32 }
+
+// Engine is the partitioned classifier. It implements core.Engine and
+// core.BatchClassifier; the batch path fans partitions out across a shared
+// worker pool and min-merges the winners.
+type Engine struct {
+	rs         *ruleset.RuleSet
+	splitter   Splitter
+	prefixBits int
+	parts      []part
+	// dipPart/sipPart map a bucket value to an index into parts, -1 when
+	// the bucket holds no rules. Empty (nil) under BandSplit.
+	dipPart []int32
+	sipPart []int32
+	// always lists the parts searched for every packet: the residual
+	// bands under PrefixSplit, every band under BandSplit.
+	always []int32
+	// loc[g] locates global rule g for the incremental-update path.
+	loc     []partLoc
+	scratch *sync.Pool
+	subName string
+}
+
+// New partitions rs under cfg and builds every sub-engine.
+func New(rs *ruleset.RuleSet, cfg Config) (*Engine, error) {
+	if rs == nil || rs.Len() == 0 {
+		return nil, fmt.Errorf("partition: empty ruleset")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("partition: Config.Build is required")
+	}
+	switch cfg.Splitter {
+	case "":
+		cfg.Splitter = PrefixSplit
+	case PrefixSplit, BandSplit:
+	default:
+		return nil, fmt.Errorf("partition: unknown splitter %q", cfg.Splitter)
+	}
+	if cfg.Parts < 0 || cfg.Parts > 64 {
+		return nil, fmt.Errorf("partition: band count %d outside [0,64]", cfg.Parts)
+	}
+	if cfg.Parts == 0 {
+		cfg.Parts = defaultBands()
+	}
+	if cfg.PrefixBits < 0 || cfg.PrefixBits > MaxPrefixBits {
+		return nil, fmt.Errorf("partition: prefix bits %d outside [0,%d]", cfg.PrefixBits, MaxPrefixBits)
+	}
+	if cfg.PrefixBits == 0 {
+		cfg.PrefixBits = autoPrefixBits(rs.Len())
+	}
+
+	e := &Engine{
+		rs:         rs,
+		splitter:   cfg.Splitter,
+		prefixBits: cfg.PrefixBits,
+		scratch:    new(sync.Pool),
+		loc:        make([]partLoc, rs.Len()),
+	}
+
+	// Assign every rule to exactly one group, preserving rule order within
+	// each group so local index order == priority order.
+	type group struct {
+		idx    []int32
+		kind   steerKind
+		bucket int32
+	}
+	var groups []group
+	if cfg.Splitter == BandSplit {
+		for _, g := range bandGroups(rs.Rules, cfg.Parts, nil) {
+			e.always = append(e.always, int32(len(groups)))
+			groups = append(groups, group{idx: g})
+		}
+	} else {
+		nb := 1 << uint(cfg.PrefixBits)
+		dip := make([][]int32, nb)
+		sip := make([][]int32, nb)
+		var residual []int32
+		for g, r := range rs.Rules {
+			switch kind, b := steerRule(r, cfg.PrefixBits); kind {
+			case steerDIP:
+				dip[b] = append(dip[b], int32(g))
+			case steerSIP:
+				sip[b] = append(sip[b], int32(g))
+			default:
+				residual = append(residual, int32(g))
+			}
+		}
+		e.dipPart = make([]int32, nb)
+		e.sipPart = make([]int32, nb)
+		for b := 0; b < nb; b++ {
+			e.dipPart[b] = -1
+			e.sipPart[b] = -1
+		}
+		for b, g := range dip {
+			if len(g) > 0 {
+				e.dipPart[b] = int32(len(groups))
+				groups = append(groups, group{idx: g, kind: steerDIP, bucket: int32(b)})
+			}
+		}
+		for b, g := range sip {
+			if len(g) > 0 {
+				e.sipPart[b] = int32(len(groups))
+				groups = append(groups, group{idx: g, kind: steerSIP, bucket: int32(b)})
+			}
+		}
+		for _, g := range bandGroups(rs.Rules, cfg.Parts, residual) {
+			e.always = append(e.always, int32(len(groups)))
+			groups = append(groups, group{idx: g})
+		}
+	}
+
+	e.parts = make([]part, len(groups))
+	for pi, g := range groups {
+		sub := make([]ruleset.Rule, len(g.idx))
+		for l, gi := range g.idx {
+			sub[l] = rs.Rules[gi]
+			e.loc[gi] = partLoc{part: int32(pi), local: int32(l)}
+		}
+		eng, err := cfg.Build(ruleset.New(sub))
+		if err != nil {
+			return nil, fmt.Errorf("partition: building part %d (%d rules): %w", pi, len(g.idx), err)
+		}
+		e.parts[pi] = part{eng: eng, global: g.idx, minGlobal: g.idx[0], kind: g.kind, bucket: g.bucket}
+	}
+	if len(e.parts) == 0 {
+		return nil, fmt.Errorf("partition: no partitions produced")
+	}
+	e.subName = e.parts[0].eng.Name()
+	return e, nil
+}
+
+// defaultBands picks the residual/band count from available parallelism.
+func defaultBands() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		return 2
+	}
+	if p > 8 {
+		return 8
+	}
+	return p
+}
+
+// autoPrefixBits sizes the pre-decoder so the average DIP bucket holds
+// about 2048 rules — the flat engines' proven operating point.
+func autoPrefixBits(n int) int {
+	b := 1
+	for b < MaxPrefixBits && n>>uint(b) > 2048 {
+		b++
+	}
+	return b
+}
+
+type steerKind uint8
+
+const (
+	steerResidual steerKind = iota
+	steerDIP
+	steerSIP
+)
+
+// steerRule decides which group a rule belongs to under PrefixSplit: a
+// rule whose DIP prefix pins the top B bits matches only headers whose DIP
+// head equals those bits, so it is only ever searched for such headers;
+// SIP is the fallback steering field; everything else is residual.
+func steerRule(r ruleset.Rule, b int) (steerKind, int) {
+	if r.DIP.Len >= b {
+		return steerDIP, int(r.DIP.Value >> uint(32-b))
+	}
+	if r.SIP.Len >= b {
+		return steerSIP, int(r.SIP.Value >> uint(32-b))
+	}
+	return steerResidual, 0
+}
+
+// steerTernary recomputes steerRule from an expanded ternary entry (the
+// incremental-update form, where the original Rule is not available): the
+// top B bits of a field steer iff they are all care bits. An invalidated
+// entry matches nothing and is safe wherever it currently lives.
+func steerTernary(t ruleset.Ternary, b int) (steerKind, int, bool) {
+	if t.Invalid {
+		return steerResidual, 0, false
+	}
+	if headCared(t, packet.DIPOff, b) {
+		return steerDIP, t.Value.Stride(packet.DIPOff, b), true
+	}
+	if headCared(t, packet.SIPOff, b) {
+		return steerSIP, t.Value.Stride(packet.SIPOff, b), true
+	}
+	return steerResidual, 0, true
+}
+
+func headCared(t ruleset.Ternary, off, b int) bool {
+	for i := off; i < off+b; i++ {
+		if t.Mask.Bit(i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bandGroups splits the rules named by idx (or all rules when idx is nil)
+// into at most bands contiguous groups balanced by ternary expansion
+// weight — the entry count each rule costs a bit-vector engine.
+func bandGroups(rules []ruleset.Rule, bands int, idx []int32) [][]int32 {
+	if idx == nil {
+		idx = make([]int32, len(rules))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	total := 0
+	weight := make([]int, len(idx))
+	for i, gi := range idx {
+		weight[i] = rules[gi].ExpansionFactor()
+		total += weight[i]
+	}
+	if bands > len(idx) {
+		bands = len(idx)
+	}
+	target := (total + bands - 1) / bands
+	var out [][]int32
+	var cur []int32
+	acc := 0
+	for i, gi := range idx {
+		cur = append(cur, gi)
+		acc += weight[i]
+		if acc >= target && len(out)+1 < bands {
+			out = append(out, cur)
+			cur, acc = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Name identifies the engine: splitter policy, partition count and the
+// sub-engine family.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("part-%s-p%d(%s)", e.splitter, len(e.parts), e.subName)
+}
+
+// NumRules returns the original rule count N.
+func (e *Engine) NumRules() int { return e.rs.Len() }
+
+// NumParts returns the partition count.
+func (e *Engine) NumParts() int { return len(e.parts) }
+
+// PrefixBits returns the pre-decoder width (0 under BandSplit).
+func (e *Engine) PrefixBits() int {
+	if e.splitter == BandSplit {
+		return 0
+	}
+	return e.prefixBits
+}
+
+// Splitter returns the active assignment policy.
+func (e *Engine) Splitter() Splitter { return e.splitter }
+
+// classifyMerge searches every partition the key steers to and returns the
+// minimum surviving global rule index (math.MaxInt32 when nothing matched).
+func (e *Engine) classifyMerge(h packet.Header, k packet.Key) int32 {
+	best := int32(math.MaxInt32)
+	if e.splitter == PrefixSplit {
+		if pi := e.dipPart[k.Stride(packet.DIPOff, e.prefixBits)]; pi >= 0 {
+			best = e.classifyPart(pi, h, best)
+		}
+		if pi := e.sipPart[k.Stride(packet.SIPOff, e.prefixBits)]; pi >= 0 {
+			best = e.classifyPart(pi, h, best)
+		}
+	}
+	for _, pi := range e.always {
+		best = e.classifyPart(pi, h, best)
+	}
+	return best
+}
+
+// classifyPart searches one partition and merges its winner into best by
+// priority (minimum global rule index).
+func (e *Engine) classifyPart(pi int32, h packet.Header, best int32) int32 {
+	p := &e.parts[pi]
+	if p.minGlobal >= best {
+		// Even the part's highest-priority rule loses to the current
+		// winner.
+		return best
+	}
+	if l := p.eng.Classify(h); l >= 0 {
+		if g := p.global[l]; g < best {
+			return g
+		}
+	}
+	return best
+}
+
+// Classify returns the highest-priority matching rule index, or -1. The
+// single-packet path searches the steered partitions sequentially (the
+// per-goroutine fan-out only pays off when amortized over a batch; see
+// ClassifyBatch).
+func (e *Engine) Classify(h packet.Header) int {
+	best := e.classifyMerge(h, h.Key())
+	if best == math.MaxInt32 {
+		return -1
+	}
+	return int(best)
+}
+
+// MultiMatch returns every matching rule index in priority order: the
+// steered partitions' lists (each already ascending in global index) are
+// k-way merged.
+func (e *Engine) MultiMatch(h packet.Header) []int {
+	k := h.Key()
+	var lists [][]int
+	add := func(pi int32) {
+		p := &e.parts[pi]
+		local := p.eng.MultiMatch(h)
+		if len(local) == 0 {
+			return
+		}
+		global := make([]int, len(local))
+		for i, l := range local {
+			global[i] = int(p.global[l])
+		}
+		lists = append(lists, global)
+	}
+	if e.splitter == PrefixSplit {
+		if pi := e.dipPart[k.Stride(packet.DIPOff, e.prefixBits)]; pi >= 0 {
+			add(pi)
+		}
+		if pi := e.sipPart[k.Stride(packet.SIPOff, e.prefixBits)]; pi >= 0 {
+			add(pi)
+		}
+	}
+	for _, pi := range e.always {
+		add(pi)
+	}
+	return mergeSorted(lists)
+}
+
+// mergeSorted merges ascending lists into one ascending list. Partition
+// assignment is a true partition of the ruleset, so no index repeats.
+func mergeSorted(lists [][]int) []int {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]int, 0, n)
+	for {
+		bi, bv := -1, 0
+		for i, l := range lists {
+			if len(l) > 0 && (bi < 0 || l[0] < bv) {
+				bi, bv = i, l[0]
+			}
+		}
+		if bi < 0 {
+			return out
+		}
+		out = append(out, bv)
+		lists[bi] = lists[bi][1:]
+	}
+}
+
+// String summarises the partition geometry.
+func (e *Engine) String() string {
+	largest := 0
+	for _, p := range e.parts {
+		if len(p.global) > largest {
+			largest = len(p.global)
+		}
+	}
+	return fmt.Sprintf("%s{parts=%d always=%d largest=%d B=%d}",
+		e.Name(), len(e.parts), len(e.always), largest, e.prefixBits)
+}

@@ -1,0 +1,223 @@
+package partition_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+	"pktclass/internal/partition"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/stridebv"
+)
+
+func buildStride(rs *ruleset.RuleSet) (core.Engine, error) {
+	return stridebv.New(rs.Expand(), 4)
+}
+
+func buildLinear(rs *ruleset.RuleSet) (core.Engine, error) {
+	return core.NewLinear(rs), nil
+}
+
+func genSet(t testing.TB, n int, profile ruleset.Profile, seed int64) *ruleset.RuleSet {
+	t.Helper()
+	return ruleset.Generate(ruleset.GenConfig{N: n, Profile: profile, Seed: seed, DefaultRule: true})
+}
+
+func TestNewValidation(t *testing.T) {
+	rs := genSet(t, 16, ruleset.PrefixOnly, 1)
+	if _, err := partition.New(nil, partition.Config{Build: buildStride}); err == nil {
+		t.Fatal("accepted nil ruleset")
+	}
+	if _, err := partition.New(rs, partition.Config{}); err == nil {
+		t.Fatal("accepted missing Build hook")
+	}
+	if _, err := partition.New(rs, partition.Config{Build: buildStride, Splitter: "bogus"}); err == nil {
+		t.Fatal("accepted unknown splitter")
+	}
+	if _, err := partition.New(rs, partition.Config{Build: buildStride, Parts: 65}); err == nil {
+		t.Fatal("accepted 65 bands")
+	}
+	if _, err := partition.New(rs, partition.Config{Build: buildStride, PrefixBits: partition.MaxPrefixBits + 1}); err == nil {
+		t.Fatal("accepted oversized prefix bits")
+	}
+}
+
+// Differential property: for every profile, splitter and geometry, the
+// partitioned engine must agree with the linear reference on Classify
+// (single-packet and batch) and with a flat engine on MultiMatch, over
+// directed and uniform-random headers.
+func TestPartitionDifferential(t *testing.T) {
+	configs := []partition.Config{
+		{Splitter: partition.PrefixSplit},
+		{Splitter: partition.PrefixSplit, Parts: 2, PrefixBits: 2},
+		{Splitter: partition.PrefixSplit, Parts: 7, PrefixBits: 6},
+		{Splitter: partition.BandSplit, Parts: 3},
+		{Splitter: partition.BandSplit, Parts: 16},
+	}
+	seed := int64(90)
+	for _, profile := range []ruleset.Profile{ruleset.FirewallProfile, ruleset.FeatureFree, ruleset.PrefixOnly} {
+		for ci, cfg := range configs {
+			for _, builder := range []func(*ruleset.RuleSet) (core.Engine, error){buildStride, buildLinear} {
+				seed++
+				cfg.Build = builder
+				rs := genSet(t, 128, profile, seed)
+				lin := core.NewLinear(rs)
+				flat, err := stridebv.New(rs.Expand(), 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part, err := partition.New(rs, cfg)
+				if err != nil {
+					t.Fatalf("cfg %d: %v", ci, err)
+				}
+				if part.NumRules() != rs.Len() {
+					t.Fatalf("NumRules = %d want %d", part.NumRules(), rs.Len())
+				}
+				var hdrs []packet.Header
+				hdrs = append(hdrs, ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 0.8, Seed: seed * 3})...)
+				rng := rand.New(rand.NewSource(seed * 5))
+				for i := 0; i < 100; i++ {
+					hdrs = append(hdrs, ruleset.RandomHeader(rng))
+				}
+				batch := make([]int, len(hdrs))
+				core.ClassifyBatchInto(part, hdrs, batch)
+				for i, h := range hdrs {
+					want := lin.Classify(h)
+					if got := part.Classify(h); got != want {
+						t.Fatalf("%v cfg %d: Classify=%d linear=%d for %s", profile, ci, got, want, h)
+					}
+					if batch[i] != want {
+						t.Fatalf("%v cfg %d: batch=%d linear=%d for %s", profile, ci, batch[i], want, h)
+					}
+					gm, wm := part.MultiMatch(h), flat.MultiMatch(h)
+					if len(gm) != len(wm) {
+						t.Fatalf("%v cfg %d: MultiMatch %v != %v for %s", profile, ci, gm, wm, h)
+					}
+					for j := range wm {
+						if gm[j] != wm[j] {
+							t.Fatalf("%v cfg %d: MultiMatch %v != %v for %s", profile, ci, gm, wm, h)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A wildcard-heavy ruleset must still partition correctly: most rules land
+// in the residual bands and every lookup searches them.
+func TestPartitionAllWildcardRules(t *testing.T) {
+	rules := make([]ruleset.Rule, 32)
+	for i := range rules {
+		rules[i] = ruleset.NewWildcardRule(ruleset.Action{Port: i})
+	}
+	rs := ruleset.New(rules)
+	part, err := partition.New(rs, partition.Config{Build: buildStride, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 50; i++ {
+		if got := part.Classify(ruleset.RandomHeader(rng)); got != 0 {
+			t.Fatalf("Classify = %d want 0", got)
+		}
+	}
+	if mm := part.MultiMatch(packet.Header{}); len(mm) != 32 {
+		t.Fatalf("MultiMatch returned %d rules, want 32", len(mm))
+	}
+}
+
+func TestPartitionGeometry(t *testing.T) {
+	rs := genSet(t, 4096, ruleset.FirewallProfile, 103)
+	part, err := partition.New(rs, partition.Config{Build: buildStride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Splitter() != partition.PrefixSplit {
+		t.Fatalf("default splitter = %q", part.Splitter())
+	}
+	if part.PrefixBits() < 1 {
+		t.Fatalf("auto prefix bits = %d", part.PrefixBits())
+	}
+	if part.NumParts() < 2 {
+		t.Fatalf("only %d parts at N=4096", part.NumParts())
+	}
+	if !strings.HasPrefix(part.Name(), "part-prefix-") {
+		t.Fatalf("Name = %q", part.Name())
+	}
+	if part.String() == "" {
+		t.Fatal("empty String")
+	}
+	band, err := partition.New(rs, partition.Config{Build: buildStride, Splitter: partition.BandSplit, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if band.PrefixBits() != 0 {
+		t.Fatalf("band splitter reports prefix bits %d", band.PrefixBits())
+	}
+	if band.NumParts() != 4 {
+		t.Fatalf("band parts = %d want 4", band.NumParts())
+	}
+}
+
+// Concurrent batch classification across goroutines must be race-free and
+// agree with the sequential path (run under -race in CI).
+func TestPartitionConcurrentBatch(t *testing.T) {
+	rs := genSet(t, 512, ruleset.FirewallProfile, 107)
+	part, err := partition.New(rs, partition.Config{Build: buildStride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrs := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 256, MatchFraction: 0.8, Seed: 108})
+	want := make([]int, len(hdrs))
+	for i, h := range hdrs {
+		want[i] = part.Classify(h)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			out := make([]int, len(hdrs))
+			for iter := 0; iter < 20; iter++ {
+				core.ClassifyBatchInto(part, hdrs, out)
+				for i := range out {
+					if out[i] != want[i] {
+						done <- errDiff(i, out[i], want[i])
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type diffErr struct{ i, got, want int }
+
+func errDiff(i, got, want int) error { return diffErr{i, got, want} }
+func (e diffErr) Error() string {
+	return "concurrent batch diverged"
+}
+
+func BenchmarkPartitionedBatch(b *testing.B) {
+	rs := ruleset.Generate(ruleset.GenConfig{N: 2048, Profile: ruleset.FirewallProfile, Seed: 1, DefaultRule: true})
+	part, err := partition.New(rs, partition.Config{Build: buildStride})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdrs := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 256, MatchFraction: 0.9, Seed: 2})
+	out := make([]int, len(hdrs))
+	// Warm the recycled scratch and the worker pool before counting allocs.
+	core.ClassifyBatchInto(part, hdrs, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ClassifyBatchInto(part, hdrs, out)
+	}
+}

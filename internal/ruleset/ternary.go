@@ -14,10 +14,23 @@ import (
 type Ternary struct {
 	Value packet.Key
 	Mask  packet.Key
+	// Invalid marks a disabled entry that matches nothing — the software
+	// form of a TCAM row's valid bit. A Value/Mask pair alone cannot
+	// express never-match (mask 0 means match-everything), so engines that
+	// support entry invalidation record it here and the match paths
+	// short-circuit.
+	Invalid bool
 }
+
+// InvalidTernary returns the canonical disabled entry: it matches no key
+// and survives rebuilds and serialization round-trips as disabled.
+func InvalidTernary() Ternary { return Ternary{Invalid: true} }
 
 // MatchesKey reports whether the packed header matches the ternary word.
 func (t Ternary) MatchesKey(k packet.Key) bool {
+	if t.Invalid {
+		return false
+	}
 	for i := 0; i < packet.KeyBytes; i++ {
 		if (k[i]^t.Value[i])&t.Mask[i] != 0 {
 			return false
@@ -44,7 +57,10 @@ func (t Ternary) Bit(i int) byte {
 // the five fields.
 func (t Ternary) String() string {
 	var b strings.Builder
-	b.Grow(packet.W + 4)
+	b.Grow(packet.W + 5)
+	if t.Invalid {
+		b.WriteByte('!')
+	}
 	for i := 0; i < packet.W; i++ {
 		switch i {
 		case packet.DIPOff, packet.SPOff, packet.DPOff, packet.ProtoOff:

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/partition"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/update"
+)
+
+func partBuild(rs *ruleset.RuleSet) (core.Engine, error) {
+	return partition.New(rs, partition.Config{
+		PrefixBits: 2,
+		Parts:      2,
+		Build:      strideBuild,
+	})
+}
+
+// steerStableOps crafts rule replacements that keep their partition
+// steering (same DIP bucket): each picks a DIP-bucketed rule and narrows
+// its prefix to a /32 inside the same bucket.
+func steerStableOps(rs *ruleset.RuleSet, count int) []update.Op {
+	var ops []update.Op
+	for i, r := range rs.Rules {
+		if len(ops) == count {
+			break
+		}
+		if r.DIP.Len >= 2 && r.DIP.Len < 32 {
+			r.DIP = ruleset.Prefix{Value: r.DIP.Value, Bits: 32, Len: 32}
+			ops = append(ops, update.Op{Index: i, Rule: r})
+		}
+	}
+	return ops
+}
+
+// TestPartitionedIncrementalServe drives steering-stable deltas through a
+// serving partitioned engine: every update must take the O(delta) route
+// (down into exactly the touched sub-engine) and every post-swap
+// classification must match the linear reference of the current ruleset.
+func TestPartitionedIncrementalServe(t *testing.T) {
+	rs := prefixSet(t, 128, 81)
+	svc, err := New(rs.Clone(), partBuild, Config{Workers: 2, Incremental: true, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	ctx := context.Background()
+	rounds := 0
+	for n := 0; n < 8; n++ {
+		ops := steerStableOps(svc.RuleSet(), 3)
+		if len(ops) == 0 {
+			break
+		}
+		if err := svc.ApplyOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		cur := svc.RuleSet()
+		trace := ruleset.GenerateTrace(cur, ruleset.TraceConfig{Count: 200, MatchFraction: 0.8, Seed: int64(300 + n)})
+		got, err := svc.Classify(ctx, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range trace {
+			if want := cur.FirstMatch(h); got[i] != want {
+				t.Fatalf("swap %d packet %d: got %d want %d", n, i, got[i], want)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("fixture produced no steering-stable ops")
+	}
+	c := svc.Counters()
+	if c.IncrementalSwaps != int64(rounds) {
+		t.Fatalf("incremental swaps = %d, want %d (%+v)", c.IncrementalSwaps, rounds, c)
+	}
+	if c.Swaps != 0 || c.IncrementalRollbacks != 0 || c.IncrementalFallbacks != 0 {
+		t.Fatalf("unexpected rebuild-path activity: %+v", c)
+	}
+}
+
+// TestPartitionedFallbackOnSteeringChange swaps a bucketed rule for a
+// wildcard: the partitioning layer must refuse the in-place delta and the
+// service must transparently rebuild — correctness first, counters second.
+func TestPartitionedFallbackOnSteeringChange(t *testing.T) {
+	rs := prefixSet(t, 128, 83)
+	svc, err := New(rs.Clone(), partBuild, Config{Workers: 2, Incremental: true, Seed: 84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	j := -1
+	for i, r := range svc.RuleSet().Rules {
+		if r.DIP.Len >= 2 {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		t.Fatal("no bucketed rule in fixture")
+	}
+	if err := svc.ApplyOps([]update.Op{{Index: j, Rule: ruleset.NewWildcardRule(ruleset.Action{Port: 5})}}); err != nil {
+		t.Fatal(err)
+	}
+	cur := svc.RuleSet()
+	trace := ruleset.GenerateTrace(cur, ruleset.TraceConfig{Count: 200, MatchFraction: 0.8, Seed: 85})
+	got, err := svc.Classify(context.Background(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if want := cur.FirstMatch(h); got[i] != want {
+			t.Fatalf("packet %d: got %d want %d", i, got[i], want)
+		}
+	}
+	c := svc.Counters()
+	if c.IncrementalFallbacks != 1 {
+		t.Fatalf("incremental fallbacks = %d, want 1 (%+v)", c.IncrementalFallbacks, c)
+	}
+	if c.Swaps != 1 {
+		t.Fatalf("rebuild swaps = %d, want 1 (%+v)", c.Swaps, c)
+	}
+	if c.IncrementalSwaps != 0 {
+		t.Fatalf("incremental swaps = %d, want 0 (%+v)", c.IncrementalSwaps, c)
+	}
+}

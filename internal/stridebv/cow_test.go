@@ -1,0 +1,239 @@
+package stridebv
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pktclass/internal/bitvec"
+	"pktclass/internal/ruleset"
+)
+
+// snapshotMem deep-copies every stage vector of the engine.
+func snapshotMem(e *Engine) [][]bitvec.Vector {
+	out := make([][]bitvec.Vector, e.Stages())
+	for s := range out {
+		out[s] = make([]bitvec.Vector, 1<<uint(e.Stride()))
+		for c := range out[s] {
+			out[s][c] = e.StageVector(s, c).Clone()
+		}
+	}
+	return out
+}
+
+// diffMem returns the first (stage, value) whose stored vector differs from
+// the snapshot, or (-1, -1).
+func diffMem(e *Engine, snap [][]bitvec.Vector) (int, int) {
+	for s := range snap {
+		for c := range snap[s] {
+			if !e.StageVector(s, c).Equal(snap[s][c]) {
+				return s, c
+			}
+		}
+	}
+	return -1, -1
+}
+
+// TestUpdateOnDeltaChildLeavesParentIntact is the regression test for the
+// copy-on-write aliasing bug: a delta-derived engine shares untouched stage
+// vectors with its parent, and an in-place UpdateEntry/InvalidateEntry on
+// the child used to write straight through that shared storage, corrupting
+// the engine concurrent readers still hold. On the pre-fix code the parent
+// snapshot comparison below fails.
+func TestUpdateOnDeltaChildLeavesParentIntact(t *testing.T) {
+	parent, rs, rules, entries := deltaFixture(t, 256, 4, 401)
+	snap := snapshotMem(parent)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 400, MatchFraction: 0.8, Seed: 402})
+	want := make([]int, len(trace))
+	for i, h := range trace {
+		want[i] = parent.Classify(h)
+	}
+
+	child, err := parent.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-place writes on the child: replace entries the delta batch did not
+	// touch (their vectors all still alias the parent), then invalidate a
+	// couple more.
+	donor := ruleset.Generate(ruleset.GenConfig{N: 8, Profile: ruleset.PrefixOnly, Seed: 403})
+	rng := rand.New(rand.NewSource(404))
+	touched := map[int]bool{}
+	for _, j := range rules {
+		touched[j] = true
+	}
+	wrote := 0
+	for _, r := range donor.Rules {
+		j := rng.Intn(rs.Len())
+		if touched[j] {
+			continue
+		}
+		touched[j] = true
+		te := r.TernaryEntries()
+		if len(te) != 1 {
+			t.Fatalf("donor rule expands to %d entries", len(te))
+		}
+		if wrote%3 == 2 {
+			if err := child.InvalidateEntry(j); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := child.UpdateEntry(j, te[0]); err != nil {
+			t.Fatal(err)
+		}
+		wrote++
+	}
+	if wrote < 4 {
+		t.Fatalf("only %d in-place writes landed; fixture too small", wrote)
+	}
+
+	if s, c := diffMem(parent, snap); s >= 0 {
+		t.Fatalf("child write leaked into parent stage memory at (stage=%d, value=%d)", s, c)
+	}
+	for i, h := range trace {
+		if got := parent.Classify(h); got != want[i] {
+			t.Fatalf("parent classify changed after child writes: header %d got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+// TestApplyDeltasOnDeltaChild covers the chained case: a second ApplyDeltas
+// on a delta-derived child must also un-alias before its single-bit writes
+// (the grandparent and parent both stay intact and correct).
+func TestApplyDeltasOnDeltaChild(t *testing.T) {
+	parent, rs, rules, entries := deltaFixture(t, 128, 3, 411)
+	snapParent := snapshotMem(parent)
+	child, err := parent.ApplyDeltas(rules, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapChild := snapshotMem(child)
+
+	donor := ruleset.Generate(ruleset.GenConfig{N: 3, Profile: ruleset.PrefixOnly, Seed: 412})
+	rng := rand.New(rand.NewSource(413))
+	var rules2 []int
+	var entries2 []ruleset.Ternary
+	for _, r := range donor.Rules {
+		rules2 = append(rules2, rng.Intn(rs.Len()))
+		entries2 = append(entries2, r.TernaryEntries()[0])
+	}
+	grandchild, err := child.ApplyDeltas(rules2, entries2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grandchild.InvalidateEntry(rng.Intn(rs.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if s, c := diffMem(parent, snapParent); s >= 0 {
+		t.Fatalf("grandchild write leaked into grandparent at (stage=%d, value=%d)", s, c)
+	}
+	if s, c := diffMem(child, snapChild); s >= 0 {
+		t.Fatalf("grandchild write leaked into parent at (stage=%d, value=%d)", s, c)
+	}
+}
+
+// TestInvalidateEntryRecorded is the regression test for the resurrection
+// bug: InvalidateEntry used to clear stage memory but leave the entry table
+// untouched, so a rebuild from Expanded() (or any path that re-expands the
+// engine's view) brought the entry back to life. The invalidation must be
+// recorded in the owned entry table and survive both a rebuild and a
+// serialize round-trip.
+func TestInvalidateEntryRecorded(t *testing.T) {
+	rs, ex := genSet(t, 96, ruleset.PrefixOnly, 421)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(422))
+	// Pick an entry that actually wins for some header so resurrection is
+	// observable.
+	var victim int = -1
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 300, MatchFraction: 1, Seed: 423})
+	for _, h := range trace {
+		if j := e.MatchVector(h.Key()).FirstSet(); j >= 0 && j < rs.Len()-1 {
+			victim = j
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no winning entry found")
+	}
+	if err := e.InvalidateEntry(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Expanded().Entries[victim].Invalid {
+		t.Fatal("invalidation not recorded in the entry table")
+	}
+	if ex.Entries[victim].Invalid {
+		t.Fatal("invalidation leaked into the caller's shared Expanded")
+	}
+	for _, h := range trace {
+		if got := e.MatchVector(h.Key()); got.Get(victim) {
+			t.Fatalf("invalidated entry %d still matches %s", victim, h)
+		}
+	}
+
+	// Rebuild from the engine's own expanded view: the entry must stay dead.
+	rebuilt, err := New(e.Expanded(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+	for _, h := range trace {
+		if rebuilt.MatchVector(h.Key()).Get(victim) {
+			t.Fatalf("rebuild resurrected invalidated entry %d", victim)
+		}
+		if got, want := rebuilt.Classify(h), e.Classify(h); got != want {
+			t.Fatalf("rebuilt engine diverges: got %d want %d for %s", got, want, h)
+		}
+	}
+
+	// Serialize round-trip: the cleared bit column must persist in the image.
+	var buf bytes.Buffer
+	if err := e.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		if loaded.MatchVector(h.Key()).Get(victim) {
+			t.Fatalf("image round-trip resurrected invalidated entry %d", victim)
+		}
+		if got, want := loaded.Classify(h), e.Classify(h); got != want {
+			t.Fatalf("loaded engine diverges: got %d want %d for %s", got, want, h)
+		}
+	}
+}
+
+// TestInvalidTernarySemantics pins down the never-match entry across the
+// primitive layers: MatchesKey, stage compatibility, and stageEqual.
+func TestInvalidTernarySemantics(t *testing.T) {
+	inv := ruleset.InvalidTernary()
+	rng := rand.New(rand.NewSource(431))
+	for i := 0; i < 50; i++ {
+		if inv.MatchesKey(ruleset.RandomHeader(rng).Key()) {
+			t.Fatal("invalid ternary matched a key")
+		}
+	}
+	_, ex := genSet(t, 16, ruleset.PrefixOnly, 432)
+	e, err := New(ex, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < e.Stages(); s++ {
+		for c := 0; c < 1<<uint(e.Stride()); c++ {
+			if e.compatible(inv, s, c) {
+				t.Fatalf("invalid ternary compatible at stage %d value %d", s, c)
+			}
+		}
+	}
+	valid := ex.Entries[0]
+	if !stageEqual(inv, inv, 0, 4) {
+		t.Fatal("two invalid entries should be stage-equal")
+	}
+	if stageEqual(inv, valid, 0, 4) || stageEqual(valid, inv, 0, 4) {
+		t.Fatal("invalid vs valid entries must not be stage-equal")
+	}
+}

@@ -24,6 +24,10 @@ func corruptOne(e *Engine, h packet.Header, entry int) (stage, value int) {
 	value = k.Stride(stage*e.Stride(), e.Stride())
 	v := e.StageVector(stage, value)
 	v.SetTo(entry, !v.Get(entry))
+	// Direct stage-memory writes bypass the summary-index maintenance the
+	// supported update paths perform; recompute it so the classify path
+	// sees the upset rather than a stale acceleration structure.
+	e.RefreshSummaries()
 	return stage, value
 }
 
@@ -78,6 +82,7 @@ func TestFaultOvermatchObservable(t *testing.T) {
 	for s := 0; s < e.Stages(); s++ {
 		e.StageVector(s, k.Stride(s*e.Stride(), e.Stride())).Set(0)
 	}
+	e.RefreshSummaries()
 	if got := e.Classify(h); got != 0 || got == truth {
 		t.Fatalf("multi-bit overmatch fault gave %d (truth %d)", got, truth)
 	}

@@ -22,6 +22,11 @@ import (
 // with an atomic pointer store, the software analogue of the hardware
 // completing a write behind the search path.
 //
+// The child engine records which vectors still alias the receiver
+// (sharedVec/sharedTab), so later in-place writes on it — UpdateEntry,
+// InvalidateEntry, another ApplyDeltas — un-alias before mutating instead
+// of punching through into the receiver's storage.
+//
 // rules[i] names the entry (== rule, see below) replaced by entries[i];
 // later deltas win when indices repeat. ApplyDeltas requires the 1:1
 // rule↔entry mapping of a prefix-only expansion — a ruleset whose rules
@@ -48,31 +53,43 @@ func (e *Engine) ApplyDeltas(rules []int, entries []ruleset.Ternary) (*Engine, e
 		k:           e.k,
 		stages:      e.stages,
 		ne:          e.ne,
+		sumBits:     e.sumBits,
 		ownsEntries: true,
 		// Same dimensions, so the recycled lookup workspaces are
 		// interchangeable: sharing the pool keeps it warm across swaps.
 		scratch: e.scratch,
 	}
-	// Stage tables start fully shared; a table is cloned (shallowly, vector
-	// headers only) the first time one of its vectors needs replacing.
+	// Stage tables (and their summaries) start fully shared; setBit clones a
+	// table shallowly — vector headers only — the first time one of its
+	// vectors needs replacing, and clones a vector the first time its bits
+	// actually change.
 	n.mem = make([][]bitvec.Vector, n.stages)
 	copy(n.mem, e.mem)
-	tableOwned := make([]bool, n.stages)
+	n.sum = make([][]bitvec.Vector, n.stages)
+	copy(n.sum, e.sum)
+	n.sharedTab = make([]bool, n.stages)
+	n.sharedVec = make([][]bool, n.stages)
+	for s := range n.sharedVec {
+		n.sharedTab[s] = true
+		n.sharedVec[s] = make([]bool, len(n.mem[s]))
+		for c := range n.sharedVec[s] {
+			n.sharedVec[s][c] = true
+		}
+	}
 	for i, j := range rules {
 		old := n.ex.Entries[j]
 		//pclass:allow-mutate the entry table is a private copy made above
 		n.ex.Entries[j] = entries[i]
-		n.applyDelta(e, j, old, entries[i], tableOwned)
+		n.applyDelta(j, old, entries[i])
 	}
 	return n, nil
 }
 
 // applyDelta flips entry j's bit in the stage vectors whose compatibility
-// with j changed between old and entry. base is the engine the clone was
-// derived from: a vector still shared with base is copied before its
-// single-bit flip; a vector this ApplyDeltas batch already copied (for an
-// earlier delta) is written in place.
-func (n *Engine) applyDelta(base *Engine, j int, old, entry ruleset.Ternary, tableOwned []bool) {
+// with j changed between old and entry. setBit handles the un-aliasing:
+// a vector still shared with the parent is copied before its single-bit
+// flip; one this ApplyDeltas batch already copied is written in place.
+func (n *Engine) applyDelta(j int, old, entry ruleset.Ternary) {
 	for s := 0; s < n.stages; s++ {
 		if stageEqual(old, entry, s*n.k, n.k) {
 			// The stride condition is unchanged: every vector's bit j is
@@ -80,20 +97,7 @@ func (n *Engine) applyDelta(base *Engine, j int, old, entry ruleset.Ternary, tab
 			continue
 		}
 		for c := range n.mem[s] {
-			want := n.compatible(entry, s, c)
-			v := n.mem[s][c]
-			if v.Get(j) == want {
-				continue
-			}
-			if v.SharesStorage(base.mem[s][c]) {
-				if !tableOwned[s] {
-					n.mem[s] = append([]bitvec.Vector(nil), n.mem[s]...)
-					tableOwned[s] = true
-				}
-				v = v.Clone()
-				n.mem[s][c] = v
-			}
-			v.SetTo(j, want)
+			n.setBit(s, c, j, n.compatible(entry, s, c))
 		}
 	}
 }

@@ -130,5 +130,6 @@ func ReadImage(r io.Reader) (*Engine, error) {
 			}
 		}
 	}
+	e.initSummaries()
 	return e, nil
 }

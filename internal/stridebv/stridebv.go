@@ -19,6 +19,7 @@ package stridebv
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"pktclass/internal/bitvec"
@@ -35,9 +36,26 @@ type Engine struct {
 	ne     int
 	// mem[s][c] is the Ne-bit vector for stride value c at stage s.
 	mem [][]bitvec.Vector
+	// sum[s][c] is the word-level summary of mem[s][c]: bit w is set iff
+	// 64-bit word w of the stage vector is nonzero. ANDing the summaries
+	// along a header's path yields the candidate words the full AND can
+	// possibly survive in, so classification skips all-zero words and its
+	// cost tracks the population near the match, not Ne. sumBits is the
+	// summary width (the stage vectors' word count).
+	sum     [][]bitvec.Vector
+	sumBits int
 	// ownsEntries is set once the engine has copied ex away from the
 	// caller's Expanded (copy-on-first-update; see UpdateEntry).
 	ownsEntries bool
+	// sharedVec/sharedTab track storage still aliased with the engine this
+	// one was delta-derived from (ApplyDeltas). sharedVec[s][c] means
+	// mem[s][c] and sum[s][c] alias the parent's vectors; sharedTab[s]
+	// means the inner mem[s]/sum[s] tables are the parent's slices. Both
+	// are nil for engines built from scratch. setBit un-aliases (clones)
+	// before any in-place write, so a delta child can never mutate state a
+	// concurrent reader of the parent still holds.
+	sharedVec [][]bool
+	sharedTab []bool
 	// scratch recycles per-goroutine lookup state (partial-result vector
 	// plus precomputed stage addresses) so the classification fast path
 	// allocates nothing in steady state. It is held by pointer so a
@@ -49,6 +67,7 @@ type Engine struct {
 // scratchState is one goroutine's reusable lookup workspace.
 type scratchState struct {
 	acc   bitvec.Vector
+	sum   bitvec.Vector
 	addrs []int
 }
 
@@ -85,6 +104,7 @@ func New(ex *ruleset.Expanded, k int) (*Engine, error) {
 	for j, entry := range ex.Entries {
 		e.writeEntry(j, entry)
 	}
+	e.initSummaries()
 	return e, nil
 }
 
@@ -94,7 +114,11 @@ func (e *Engine) getScratch() *scratchState {
 	if sc, ok := e.scratch.Get().(*scratchState); ok {
 		return sc
 	}
-	return &scratchState{acc: bitvec.New(e.ne), addrs: make([]int, e.stages)}
+	return &scratchState{
+		acc:   bitvec.New(e.ne),
+		sum:   bitvec.New(e.sumBits),
+		addrs: make([]int, e.stages),
+	}
 }
 
 func (e *Engine) putScratch(sc *scratchState) { e.scratch.Put(sc) }
@@ -102,19 +126,77 @@ func (e *Engine) putScratch(sc *scratchState) { e.scratch.Put(sc) }
 // NewFSBV builds the k=1 Field-Split Bit Vector engine.
 func NewFSBV(ex *ruleset.Expanded) (*Engine, error) { return New(ex, 1) }
 
+// initSummaries (re)derives the word-level summary vectors from the stage
+// memories. Called once construction or image load has populated mem; see
+// RefreshSummaries for the exported form.
+func (e *Engine) initSummaries() {
+	e.sumBits = (e.ne + 63) / 64
+	e.sum = make([][]bitvec.Vector, e.stages)
+	for s := range e.sum {
+		e.sum[s] = make([]bitvec.Vector, len(e.mem[s]))
+		for c := range e.sum[s] {
+			sv := bitvec.New(e.sumBits)
+			for w, word := range e.mem[s][c].Words() {
+				sv.SetTo(w, word != 0)
+			}
+			e.sum[s][c] = sv
+		}
+	}
+}
+
+// RefreshSummaries recomputes the word-level summary index from the stage
+// memories. The summaries are derived software state — hardware has no
+// such structure — so code that mutates stage memory directly through
+// StageVector (fault injection, scrub tooling) must refresh them before
+// classifying; the supported mutation paths (UpdateEntry, InvalidateEntry,
+// ApplyDeltas) maintain them incrementally.
+func (e *Engine) RefreshSummaries() { e.initSummaries() }
+
+// setBit is the single mutation point for stage memory: it un-aliases any
+// storage still shared with a delta parent (vector clone, plus a shallow
+// inner-table clone the first time a stage is touched) before writing, and
+// keeps the word-level summary consistent with the written word.
+func (e *Engine) setBit(s, c, j int, want bool) {
+	v := e.mem[s][c]
+	if v.Get(j) == want {
+		return
+	}
+	if e.sharedVec != nil && e.sharedVec[s][c] {
+		if e.sharedTab[s] {
+			e.mem[s] = append([]bitvec.Vector(nil), e.mem[s]...)
+			e.sum[s] = append([]bitvec.Vector(nil), e.sum[s]...)
+			e.sharedTab[s] = false
+		}
+		v = v.Clone()
+		e.mem[s][c] = v
+		e.sum[s][c] = e.sum[s][c].Clone()
+		e.sharedVec[s][c] = false
+	}
+	v.SetTo(j, want)
+	if e.sum != nil {
+		w := j >> 6
+		e.sum[s][c].SetTo(w, v.Words()[w] != 0)
+	}
+}
+
 // writeEntry sets entry j's bit in every compatible (stage, value) vector.
+// The write restores entry j's whole column from scratch, which is what
+// makes it double as the fault-scrub repair primitive.
 func (e *Engine) writeEntry(j int, entry ruleset.Ternary) {
 	for s := 0; s < e.stages; s++ {
 		for c := 0; c < 1<<uint(e.k); c++ {
-			e.mem[s][c].SetTo(j, e.compatible(entry, s, c))
+			e.setBit(s, c, j, e.compatible(entry, s, c))
 		}
 	}
 }
 
 // compatible reports whether stride value c at stage s can match entry.
 // Bits past W (final-stage padding) only match the zero padding the header
-// side generates.
+// side generates. An invalidated entry is compatible with nothing.
 func (e *Engine) compatible(entry ruleset.Ternary, s, c int) bool {
+	if entry.Invalid {
+		return false
+	}
 	for b := 0; b < e.k; b++ {
 		i := s*e.k + b
 		cbit := c >> uint(e.k-1-b) & 1
@@ -162,21 +244,63 @@ func (e *Engine) MatchVector(key packet.Key) bitvec.Vector {
 	return v
 }
 
-// matchInto computes the match vector into sc.acc and returns it. All stage
-// stride addresses are extracted once up front (two shifts per stage out of
-// a pair of machine words) rather than bit-by-bit per stage, and the stage-0
-// memory word is copied into the scratch accumulator instead of cloned — the
-// two changes that make the lookup loop allocation-free.
+// matchInto computes the full match vector into sc.acc and returns it. The
+// stage stride addresses are extracted once up front, then the word-level
+// summaries along the path are ANDed first (one summary word covers 4096
+// entries): only words the summary AND keeps can be nonzero in the final
+// result, so the per-stage AND runs word-by-word over the survivors with an
+// early break the moment a word dies. Everything else is zero-filled
+// without touching stage memory.
 //
 //pclass:hotpath
 func (e *Engine) matchInto(key packet.Key, sc *scratchState) bitvec.Vector {
 	key.StridesInto(e.k, sc.addrs)
-	acc := sc.acc
-	acc.CopyFrom(e.mem[0][sc.addrs[0]])
+	addrs := sc.addrs
+	sum := sc.sum
+	sum.CopyFrom(e.sum[0][addrs[0]])
 	for s := 1; s < e.stages; s++ {
-		acc.AndWith(e.mem[s][sc.addrs[s]])
+		sum.AndWith(e.sum[s][addrs[s]])
+	}
+	acc := sc.acc
+	accW := acc.Words()
+	for w := range accW {
+		accW[w] = 0
+	}
+	for w := sum.FirstSet(); w >= 0; w = sum.NextSet(w + 1) {
+		word := e.mem[0][addrs[0]].Words()[w]
+		for s := 1; s < e.stages && word != 0; s++ {
+			word &= e.mem[s][addrs[s]].Words()[w]
+		}
+		accW[w] = word
 	}
 	return acc
+}
+
+// firstMatch returns the first surviving entry for a key, or -1 — the
+// priority-encoder output. It shares matchInto's summary-guided word walk
+// but additionally stops at the first nonzero result word: words are
+// visited in ascending entry order, so the first survivor word holds the
+// highest-priority match and nothing after it can win.
+//
+//pclass:hotpath
+func (e *Engine) firstMatch(key packet.Key, sc *scratchState) int {
+	key.StridesInto(e.k, sc.addrs)
+	addrs := sc.addrs
+	sum := sc.sum
+	sum.CopyFrom(e.sum[0][addrs[0]])
+	for s := 1; s < e.stages; s++ {
+		sum.AndWith(e.sum[s][addrs[s]])
+	}
+	for w := sum.FirstSet(); w >= 0; w = sum.NextSet(w + 1) {
+		word := e.mem[0][addrs[0]].Words()[w]
+		for s := 1; s < e.stages && word != 0; s++ {
+			word &= e.mem[s][addrs[s]].Words()[w]
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
 }
 
 // Classify returns the highest-priority matching rule index, or -1.
@@ -184,7 +308,7 @@ func (e *Engine) matchInto(key packet.Key, sc *scratchState) bitvec.Vector {
 //pclass:hotpath
 func (e *Engine) Classify(h packet.Header) int {
 	sc := e.getScratch()
-	entry := e.matchInto(h.Key(), sc).FirstSet()
+	entry := e.firstMatch(h.Key(), sc)
 	e.putScratch(sc)
 	if entry < 0 {
 		return -1
@@ -194,14 +318,14 @@ func (e *Engine) Classify(h packet.Header) int {
 
 // ClassifyBatch classifies hdrs into out (the core.BatchClassifier fast
 // path): one scratch workspace serves the whole batch, so the steady-state
-// per-packet cost is the stage-memory ANDs and a first-set scan, with zero
-// allocations. Safe for concurrent use.
+// per-packet cost is the summary AND, the surviving stage-memory words and
+// a first-set scan, with zero allocations. Safe for concurrent use.
 //
 //pclass:hotpath
 func (e *Engine) ClassifyBatch(hdrs []packet.Header, out []int) {
 	sc := e.getScratch()
 	for i, h := range hdrs {
-		entry := e.matchInto(h.Key(), sc).FirstSet()
+		entry := e.firstMatch(h.Key(), sc)
 		if entry < 0 {
 			out[i] = -1
 		} else {
@@ -221,9 +345,11 @@ func (e *Engine) MultiMatch(h packet.Header) []int {
 
 // UpdateEntry reprograms ternary entry j in place: one bit-slice write per
 // stage memory, the incremental-update property of the bit-vector approach
-// (no global rebuild required). The write is unconditional — it restores
-// entry j's column from scratch, which is what makes it double as the
-// fault-scrub repair primitive — and allocates nothing in steady state.
+// (no global rebuild required). The write restores entry j's column from
+// scratch — the fault-scrub repair primitive — and allocates nothing in
+// steady state on an engine that owns its storage. On a delta-derived
+// engine (ApplyDeltas) the touched vectors are un-aliased first, so the
+// parent engine that concurrent readers may still hold is never mutated.
 // The engine copies its entry table on the first update, so the caller's
 // Expanded — possibly shared with a reference engine for differential
 // verification — is never mutated; Expanded() reflects the engine's own
@@ -247,8 +373,12 @@ func (e *Engine) UpdateEntry(j int, entry ruleset.Ternary) error {
 // stageEqual reports whether two ternary entries impose the same match
 // condition on the k bits starting at off: equal care masks and equal
 // cared-about values. Bits at or past W never differ (both entries ignore
-// the zero padding).
+// the zero padding). An invalidated entry matches nothing anywhere, so two
+// invalid entries are stage-equal and an invalid/valid pair never is.
 func stageEqual(a, b ruleset.Ternary, off, k int) bool {
+	if a.Invalid || b.Invalid {
+		return a.Invalid == b.Invalid
+	}
 	for i := off; i < off+k && i < packet.W; i++ {
 		if a.Mask.Bit(i) != b.Mask.Bit(i) {
 			return false
@@ -276,21 +406,19 @@ func (e *Engine) ensureOwnedEntries() {
 }
 
 // InvalidateEntry disables entry j: its bit is cleared in every stage
-// vector, so it can never survive the pipeline AND.
+// vector, so it can never survive the pipeline AND. The invalidation is
+// recorded in the engine's owned entry table (as ruleset.InvalidTernary),
+// so rebuilding from Expanded() or serializing does not resurrect the
+// entry, and — like UpdateEntry — the write is copy-on-write safe on a
+// delta-derived engine.
 func (e *Engine) InvalidateEntry(j int) error {
-	if j < 0 || j >= e.ne {
-		return fmt.Errorf("stridebv: entry %d out of range [0,%d)", j, e.ne)
-	}
-	for s := range e.mem {
-		for c := range e.mem[s] {
-			e.mem[s][c].Clear(j)
-		}
-	}
-	return nil
+	return e.UpdateEntry(j, ruleset.InvalidTernary())
 }
 
 // StageVector exposes the stored vector at (stage, value) for tests and the
-// hardware-model netlist builder.
+// hardware-model netlist builder. Mutating it directly bypasses the
+// summary index maintenance — call RefreshSummaries afterwards (see the
+// fault-injection tests).
 func (e *Engine) StageVector(s, c int) bitvec.Vector { return e.mem[s][c] }
 
 // Expanded returns the engine's view of the expanded ruleset. Until the

@@ -134,34 +134,38 @@ func (p *Partitioned) Classify(h packet.Header) int {
 	return p.ex.Parent[best]
 }
 
-// MultiMatch returns every matching rule in priority order.
+// MultiMatch returns every matching rule in priority order. The selected
+// block and the overflow list are both built in ascending entry order, so
+// a single linear merge yields priority order directly — no post-hoc sort,
+// no intermediate match list — and an entry present in both lists (or a
+// rule replicated across entries) is consumed once before ParentRules
+// collapses entries to rules, so replication can never double-report.
 func (p *Partitioned) MultiMatch(h packet.Header) []int {
 	k := h.Key()
-	var entries []int32
-	for _, j := range p.blocks[p.index(k)] {
-		if p.ex.Entries[j].MatchesKey(k) {
-			entries = append(entries, j)
+	blk := p.blocks[p.index(k)]
+	ovf := p.overflow
+	var idx []int
+	i, j := 0, 0
+	for i < len(blk) || j < len(ovf) {
+		var e int32
+		switch {
+		case j >= len(ovf) || (i < len(blk) && blk[i] < ovf[j]):
+			e = blk[i]
+			i++
+		case i >= len(blk) || ovf[j] < blk[i]:
+			e = ovf[j]
+			j++
+		default:
+			// Equal indices: the same entry reached both lists; dedupe.
+			e = blk[i]
+			i++
+			j++
 		}
-	}
-	for _, j := range p.overflow {
-		if p.ex.Entries[j].MatchesKey(k) {
-			entries = append(entries, j)
+		if p.ex.Entries[e].MatchesKey(k) {
+			idx = append(idx, int(e))
 		}
-	}
-	sortInt32(entries)
-	idx := make([]int, len(entries))
-	for i, e := range entries {
-		idx[i] = int(e)
 	}
 	return p.ex.ParentRules(idx)
-}
-
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // ActiveEntries returns how many entries a search with the given header

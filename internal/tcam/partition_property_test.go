@@ -1,0 +1,112 @@
+package tcam_test
+
+import (
+	"math/rand"
+	"pktclass/internal/tcam"
+	"testing"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+)
+
+func genSetX(t testing.TB, n int, profile ruleset.Profile, seed int64) (*ruleset.RuleSet, *ruleset.Expanded) {
+	t.Helper()
+	rs := ruleset.Generate(ruleset.GenConfig{N: n, Profile: profile, Seed: seed, DefaultRule: true})
+	return rs, rs.Expand()
+}
+
+// Property sweep: for any generated ruleset, any pre-decoder geometry and
+// any replication bound, the partitioned organization must classify and
+// multi-match identically to the flat behavioral TCAM and the linear
+// reference. The configs deliberately include degenerate shapes — index
+// bits the rules mostly wildcard (source-port head), MaxCopies 1 pushing
+// nearly everything into overflow, and wide pre-decoders with heavy
+// replication — because partitioning bugs hide exactly where the block
+// assignment is skewed.
+func TestPartitionedProperty(t *testing.T) {
+	configs := []tcam.PartitionConfig{
+		{IndexOff: packet.DIPOff, IndexBits: 4, MaxCopies: 4},
+		{IndexOff: packet.DIPOff, IndexBits: 1, MaxCopies: 1},  // overflow-heavy
+		{IndexOff: packet.DIPOff, IndexBits: 8, MaxCopies: 64}, // replication-heavy
+		{IndexOff: packet.SIPOff, IndexBits: 6, MaxCopies: 2},
+		{IndexOff: packet.SPOff, IndexBits: 4, MaxCopies: 4}, // mostly-wildcard index field
+		{IndexOff: packet.ProtoOff, IndexBits: 3, MaxCopies: 8},
+	}
+	seed := int64(71)
+	for _, profile := range []ruleset.Profile{ruleset.FirewallProfile, ruleset.FeatureFree, ruleset.PrefixOnly} {
+		for _, cfg := range configs {
+			seed++
+			rs, ex := genSetX(t, 96, profile, seed)
+			lin := core.NewLinear(rs)
+			ref := tcam.NewBehavioral(ex)
+			part, err := tcam.NewPartitioned(ex, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 3))
+			check := func(h packet.Header) {
+				t.Helper()
+				want := lin.Classify(h)
+				if got := ref.Classify(h); got != want {
+					t.Fatalf("%v/%+v: behavioral=%d linear=%d for %s", profile, cfg, got, want, h)
+				}
+				if got := part.Classify(h); got != want {
+					t.Fatalf("%v/%+v: partitioned=%d linear=%d for %s", profile, cfg, got, want, h)
+				}
+				gm, wm := part.MultiMatch(h), ref.MultiMatch(h)
+				if len(gm) != len(wm) {
+					t.Fatalf("%v/%+v: MultiMatch %v != %v for %s", profile, cfg, gm, wm, h)
+				}
+				for i := range wm {
+					if gm[i] != wm[i] {
+						t.Fatalf("%v/%+v: MultiMatch %v != %v for %s", profile, cfg, gm, wm, h)
+					}
+				}
+			}
+			// Directed headers (hit the rule structure) and uniform random
+			// ones (exercise the miss paths and unpopulated blocks).
+			for _, h := range ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 200, MatchFraction: 0.8, Seed: seed * 5}) {
+				check(h)
+			}
+			for i := 0; i < 100; i++ {
+				check(ruleset.RandomHeader(rng))
+			}
+		}
+	}
+}
+
+// All-wildcard index bits with replication allowed: every entry is
+// compatible with every pre-decoder value, so MaxCopies decides between
+// full replication and full overflow; both must stay correct.
+func TestPartitionedAllWildcardIndex(t *testing.T) {
+	rules := make([]ruleset.Rule, 24)
+	for i := range rules {
+		rules[i] = ruleset.NewWildcardRule(ruleset.Action{Port: i})
+	}
+	rs := ruleset.New(rules)
+	ex := rs.Expand()
+	ref := tcam.NewBehavioral(ex)
+	for _, maxCopies := range []int{1, 16} {
+		part, err := tcam.NewPartitioned(ex, tcam.PartitionConfig{IndexOff: packet.DIPOff, IndexBits: 4, MaxCopies: maxCopies})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(81))
+		for i := 0; i < 100; i++ {
+			h := ruleset.RandomHeader(rng)
+			if got, want := part.Classify(h), ref.Classify(h); got != want {
+				t.Fatalf("maxCopies=%d: %d != %d", maxCopies, got, want)
+			}
+			gm, wm := part.MultiMatch(h), ref.MultiMatch(h)
+			if len(gm) != len(wm) {
+				t.Fatalf("maxCopies=%d: MultiMatch %v != %v", maxCopies, gm, wm)
+			}
+			for j := range wm {
+				if gm[j] != wm[j] {
+					t.Fatalf("maxCopies=%d: MultiMatch %v != %v", maxCopies, gm, wm)
+				}
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"pktclass/internal/core"
 	"pktclass/internal/packet"
+	"pktclass/internal/partition"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/stridebv"
 	"pktclass/internal/tcam"
@@ -196,6 +197,20 @@ func ApplyDeltasToEngine(eng core.Engine, rules []int, entries []ruleset.Ternary
 	case *tcam.FPGA:
 		out, err := e.ApplyDeltas(rules, entries)
 		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
+		}
+		return out, nil
+	case *partition.Engine:
+		// The partitioning layer routes each delta to the one sub-engine
+		// holding the touched rule; ApplyDeltasToEngine recurses as the
+		// per-partition apply hook, so any supported sub-engine family
+		// works. Steering-changing deltas (a rule moving between buckets)
+		// surface here as ErrDeltaUnsupported and take the rebuild path.
+		out, err := e.ApplyDeltas(rules, entries, ApplyDeltasToEngine)
+		if err != nil {
+			if errors.Is(err, ErrDeltaUnsupported) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
 		}
 		return out, nil
