@@ -72,6 +72,9 @@ type benchSnapshot struct {
 	// Churn holds -churn mode's update-throughput measurements (empty for
 	// classification-only snapshots).
 	Churn []churnResult `json:"churn,omitempty"`
+	// Scaling holds -scaling mode's worker sweep (aggregate throughput and
+	// efficiency per worker count on the steered service).
+	Scaling []scalingResult `json:"scaling,omitempty"`
 }
 
 func runBench(args []string) {
@@ -101,13 +104,18 @@ func runBench(args []string) {
 		workers    = fs.Int("workers", 2, "churn mode: serving workers")
 		verifyPkts = fs.Int("verify", 64, "churn mode: per-swap differential verification trace length")
 		seedFlag   = fs.Int64("seed", 1, "deterministic seed for rulesets and traces")
+		scaling    = fs.Bool("scaling", false, "measure multi-core scaling: sweep steered-service worker counts and report aggregate Mpps + efficiency per point")
+		scaleCSV   = fs.String("scale-workers", "", "scaling mode: comma-separated worker counts (empty = 1,2,4,... up to GOMAXPROCS)")
+		scaleDur   = fs.Duration("scale-dur", 500*time.Millisecond, "scaling mode: measurement duration per worker count")
+		minEff     = fs.Float64("min-efficiency", 0, "scaling mode: exit non-zero when any multi-worker point's efficiency falls below this (0 disables the gate)")
+		allowEnv   = fs.Bool("allow-env-mismatch", false, "with -compare: proceed despite differing cpu/gomaxprocs environment headers (deltas are then not comparable; the gate still applies)")
 	)
 	fs.Parse(args)
 	if *compare {
 		if fs.NArg() != 2 {
 			log.Fatal("pclass bench -compare needs exactly two snapshot files: old.json new.json")
 		}
-		if err := compareSnapshots(fs.Arg(0), fs.Arg(1), *maxRegress, *gateCSV); err != nil {
+		if err := compareSnapshots(fs.Arg(0), fs.Arg(1), *maxRegress, *gateCSV, *allowEnv); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -137,7 +145,53 @@ func runBench(args []string) {
 		Commit:     gitCommit(),
 		Profile:    *profile,
 	}
-	if *churnFlag {
+	if *scaling {
+		wl, err := scalingWorkerList(*scaleCSV)
+		if err != nil {
+			log.Fatalf("-scale-workers: %v", err)
+		}
+		scfg := scalingConfig{
+			packets: *packets, profile: *profile, skew: *skew, zipfS: zipfS,
+			flows: *flows, burst: *burst, seed: *seedFlag, stride: 4, dur: *scaleDur,
+		}
+		if len(ks) > 0 {
+			scfg.stride = ks[0]
+		}
+		for _, name := range strings.Split(*engines, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			for _, n := range ns {
+				for _, cacheN := range caches {
+					scfg.cache = cacheN
+					rows, err := runScaling(name, n, wl, scfg)
+					if err != nil {
+						log.Fatal(err)
+					}
+					snap.Scaling = append(snap.Scaling, rows...)
+					if !*jsonOut && *outPath == "" {
+						for _, r := range rows {
+							printScalingRow(r)
+						}
+					}
+				}
+			}
+		}
+		var below []string
+		for _, r := range snap.Scaling {
+			if *minEff > 0 && r.Workers > 1 && r.Efficiency < *minEff {
+				below = append(below, fmt.Sprintf("%s N=%d workers=%d: efficiency %.2f < %.2f",
+					r.Engine, r.Rules, r.Workers, r.Efficiency, *minEff))
+			}
+		}
+		if len(below) > 0 {
+			for _, b := range below {
+				fmt.Println("SCALING", b)
+			}
+			log.Fatalf("bench: %d scaling point(s) below the -min-efficiency floor", len(below))
+		}
+	} else if *churnFlag {
 		ccfg := churnConfig{
 			stride: 4, workers: *workers, batch: 256, opsPerSwap: *churnOps,
 			dur: *churnDur, verify: *verifyPkts, seed: *seedFlag,
@@ -205,7 +259,7 @@ func runBench(args []string) {
 			if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote %d results to %s\n", len(snap.Results), *outPath)
+			fmt.Printf("wrote %d results to %s\n", len(snap.Results)+len(snap.Churn)+len(snap.Scaling), *outPath)
 			return
 		}
 		os.Stdout.Write(doc)
@@ -354,6 +408,21 @@ func verifyAgainstLinear(eng core.Engine, rs *ruleset.RuleSet, count int, seed i
 	return nil
 }
 
+// scalingWorkerList parses -scale-workers, defaulting to powers of two up
+// to GOMAXPROCS (always ending exactly at GOMAXPROCS, so the sweep's top
+// point is the machine).
+func scalingWorkerList(csv string) ([]int, error) {
+	if csv != "" {
+		return parseInts(csv)
+	}
+	max := runtime.GOMAXPROCS(0)
+	var wl []int
+	for w := 1; w < max; w *= 2 {
+		wl = append(wl, w)
+	}
+	return append(wl, max), nil
+}
+
 // parseCacheList parses the -cache CSV; unlike parseInts it accepts 0
 // (the uncached series).
 func parseCacheList(csv string) ([]int, error) {
@@ -428,7 +497,14 @@ func gitCommit() string {
 // "cached", any cache-fronted series) that slows down by more than
 // maxRegress percent fails the comparison. New and vanished configurations
 // never fail the gate — only measured regressions do.
-func compareSnapshots(oldPath, newPath string, maxRegress float64, gateCSV string) error {
+//
+// Snapshots measured on different hardware or at different GOMAXPROCS are
+// not comparable: the "regression" would be the machine, not the code.
+// When the environment headers disagree the comparison refuses outright
+// unless allowEnvMismatch is set, which downgrades the refusal to a loud
+// warning (headers missing on either side only warn — old snapshots
+// predate them).
+func compareSnapshots(oldPath, newPath string, maxRegress float64, gateCSV string, allowEnvMismatch bool) error {
 	load := func(path string) (benchSnapshot, error) {
 		var s benchSnapshot
 		data, err := os.ReadFile(path)
@@ -448,8 +524,14 @@ func compareSnapshots(oldPath, newPath string, maxRegress float64, gateCSV strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("old: %s  go %s  commit %s  cpu %s\n", oldSnap.Date, oldSnap.Go, orDash(oldSnap.Commit), orDash(oldSnap.CPU))
-	fmt.Printf("new: %s  go %s  commit %s  cpu %s\n\n", newSnap.Date, newSnap.Go, orDash(newSnap.Commit), orDash(newSnap.CPU))
+	fmt.Printf("old: %s  go %s  commit %s  cpu %s  gomaxprocs %d\n", oldSnap.Date, oldSnap.Go, orDash(oldSnap.Commit), orDash(oldSnap.CPU), oldSnap.GOMAXPROCS)
+	fmt.Printf("new: %s  go %s  commit %s  cpu %s  gomaxprocs %d\n\n", newSnap.Date, newSnap.Go, orDash(newSnap.Commit), orDash(newSnap.CPU), newSnap.GOMAXPROCS)
+	if msg := envMismatch(oldSnap, newSnap); msg != "" {
+		if !allowEnvMismatch {
+			return fmt.Errorf("bench: snapshots are not comparable: %s (rerun with -allow-env-mismatch to diff anyway)", msg)
+		}
+		fmt.Printf("WARNING: %s — deltas below compare machines, not code\n\n", msg)
+	}
 	oldBy := make(map[string]benchResult, len(oldSnap.Results))
 	for _, r := range oldSnap.Results {
 		oldBy[r.key()] = r
@@ -504,6 +586,20 @@ func compareSnapshots(oldPath, newPath string, maxRegress float64, gateCSV strin
 		return fmt.Errorf("bench: %d gated configuration(s) regressed beyond %.1f%%", len(failures), maxRegress)
 	}
 	return nil
+}
+
+// envMismatch reports why two snapshots' environments are not comparable
+// ("" when they are). Only populated headers disagree: snapshots written
+// before the env header existed carry zero values and merely can't vouch
+// for themselves.
+func envMismatch(oldSnap, newSnap benchSnapshot) string {
+	if oldSnap.GOMAXPROCS != 0 && newSnap.GOMAXPROCS != 0 && oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS {
+		return fmt.Sprintf("gomaxprocs %d vs %d", oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS)
+	}
+	if oldSnap.CPU != "" && newSnap.CPU != "" && oldSnap.CPU != newSnap.CPU {
+		return fmt.Sprintf("cpu %q vs %q", oldSnap.CPU, newSnap.CPU)
+	}
+	return ""
 }
 
 func orDash(s string) string {

@@ -38,6 +38,25 @@ func startObsServer(addr string, obs *obsv.Obs, svc *serve.Service) (*obsv.Serve
 			return float64(svc.ShardDepths()[shard])
 		})
 	}
+	if svc.Steered() {
+		for i := 0; i < svc.Workers(); i++ {
+			w := i
+			srv.AddGaugeFunc(fmt.Sprintf("serve.worker_classified{worker=%q}", fmt.Sprint(w)), func() float64 {
+				return float64(svc.WorkerClassified()[w])
+			})
+		}
+		if stats := svc.WorkerCacheStats(); stats != nil {
+			for i := range stats {
+				w := i
+				srv.AddGaugeFunc(fmt.Sprintf("flowcache.worker_hit_rate{worker=%q}", fmt.Sprint(w)), func() float64 {
+					return svc.WorkerCacheStats()[w].HitRate()
+				})
+			}
+			srv.AddStatus("flowcache_workers", func() any {
+				return svc.WorkerCacheStats()
+			})
+		}
+	}
 	if _, ok := svc.CacheStats(); ok {
 		srv.AddGaugeFunc("flowcache.hit_rate", func() float64 {
 			st, _ := svc.CacheStats()

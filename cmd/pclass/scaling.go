@@ -1,0 +1,195 @@
+// bench -scaling: the multi-core scaling sweep. For each worker count the
+// sweep builds a steered service (RSS-style flow steering, worker-private
+// flow caches), drives it from one feeder goroutine per worker over the
+// synchronous zero-allocation ClassifySteered path, and reports aggregate
+// throughput plus scaling efficiency against the single-worker baseline —
+// the software analogue of the paper's area-vs-throughput replication
+// argument: P engines should buy ~P times the packet rate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/cli"
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/serve"
+)
+
+// scalingResult is one (engine, ruleset size, worker count) point of the
+// sweep. Efficiency is PktsPerSec divided by (workers x the per-worker
+// rate of the sweep's smallest point) — 1.0 is perfectly linear scaling.
+type scalingResult struct {
+	Engine       string  `json:"engine"`
+	Rules        int     `json:"rules"`
+	Workers      int     `json:"workers"`
+	BatchSize    int     `json:"batch_size"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	Skew         string  `json:"skew,omitempty"`
+	HitRate      float64 `json:"hit_rate,omitempty"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+	Mpps         float64 `json:"mpps"`
+	Speedup      float64 `json:"speedup"`
+	Efficiency   float64 `json:"efficiency"`
+}
+
+// scalingConfig carries the sweep knobs shared with the classification
+// bench plus the per-point measurement duration.
+type scalingConfig struct {
+	packets int
+	profile string
+	cache   int
+	skew    string
+	zipfS   float64
+	flows   int
+	burst   float64
+	seed    int64
+	stride  int
+	dur     time.Duration
+}
+
+// scalingTrace builds one feeder's submission batch. Each feeder gets its
+// own flow population slice (distinct seed): feeders model independent
+// NIC queues, and sharing one flow set would let the private caches of a
+// W-worker point serve another feeder's warm-up.
+func scalingTrace(rs *ruleset.RuleSet, cfg scalingConfig, feeder int) ([]packet.Header, error) {
+	seed := cfg.seed + int64(feeder)*101
+	if cfg.zipfS >= 0 {
+		pop := ruleset.FlowHeaders(rs, cfg.flows, 0.9, seed+1)
+		return packet.ZipfTrace(pop, packet.ZipfTraceConfig{
+			Count: cfg.packets, S: cfg.zipfS, MeanBurst: cfg.burst, Seed: seed + 2,
+		})
+	}
+	return ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Count: cfg.packets, MatchFraction: 0.9, Locality: 0.3, Seed: seed + 1,
+	}), nil
+}
+
+// scalingPoint measures one worker count: W feeders hammer a W-worker
+// steered service for cfg.dur and the aggregate completed-packet rate is
+// the point's throughput.
+func scalingPoint(name string, rules, workers int, cfg scalingConfig) (scalingResult, error) {
+	p := ruleset.FirewallProfile
+	switch cfg.profile {
+	case "feature-free":
+		p = ruleset.FeatureFree
+	case "prefix-only":
+		p = ruleset.PrefixOnly
+	}
+	rs := ruleset.Generate(ruleset.GenConfig{N: rules, Profile: p, Seed: cfg.seed, DefaultRule: true})
+	build := cli.EngineBuilderOpts(name, cli.Options{Stride: cfg.stride})
+	svc, err := serve.New(rs, build, serve.Config{
+		Workers:      workers,
+		CacheEntries: cfg.cache,
+		Steer:        true,
+		Seed:         cfg.seed,
+	})
+	if err != nil {
+		return scalingResult{}, err
+	}
+
+	traces := make([][]packet.Header, workers)
+	outs := make([][]int, workers)
+	for f := 0; f < workers; f++ {
+		if traces[f], err = scalingTrace(rs, cfg, f); err != nil {
+			return scalingResult{}, err
+		}
+		outs[f] = make([]int, len(traces[f]))
+		// Warm-up: grow the steer scratch pool and fill the private caches
+		// so the timed window measures steady state, not cold misses.
+		if err := svc.ClassifySteered(traces[f], outs[f]); err != nil {
+			return scalingResult{}, err
+		}
+	}
+	warm, _ := svc.CacheStats()
+
+	var classified atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for f := 0; f < workers; f++ {
+		wg.Add(1)
+		go func(trace []packet.Header, out []int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := svc.ClassifySteered(trace, out); err != nil {
+					return
+				}
+				classified.Add(int64(len(trace)))
+			}
+		}(traces[f], outs[f])
+	}
+	time.Sleep(cfg.dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := scalingResult{
+		Engine:       name,
+		Rules:        rules,
+		Workers:      workers,
+		BatchSize:    cfg.packets,
+		CacheEntries: cfg.cache,
+		PktsPerSec:   float64(classified.Load()) / elapsed.Seconds(),
+	}
+	r.Mpps = r.PktsPerSec / 1e6
+	if cfg.zipfS >= 0 || cfg.cache > 0 {
+		r.Skew = cfg.skew
+	}
+	if st, ok := svc.CacheStats(); ok {
+		if lookups := (st.Hits - warm.Hits) + (st.Misses - warm.Misses); lookups > 0 {
+			r.HitRate = float64(st.Hits-warm.Hits) / float64(lookups)
+		}
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(closeCtx); err != nil {
+		return scalingResult{}, fmt.Errorf("scaling close: %w", err)
+	}
+	return r, nil
+}
+
+// runScaling sweeps one engine/size pair across the worker counts and
+// fills in speedup/efficiency against the per-worker rate of the sweep's
+// first (smallest) point.
+func runScaling(name string, rules int, workersList []int, cfg scalingConfig) ([]scalingResult, error) {
+	out := make([]scalingResult, 0, len(workersList))
+	perWorkerBase := 0.0
+	for _, w := range workersList {
+		r, err := scalingPoint(name, rules, w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %s N=%d workers=%d: %w", name, rules, w, err)
+		}
+		if perWorkerBase == 0 && r.PktsPerSec > 0 {
+			perWorkerBase = r.PktsPerSec / float64(r.Workers)
+		}
+		if perWorkerBase > 0 {
+			r.Speedup = r.PktsPerSec / perWorkerBase
+			r.Efficiency = r.Speedup / float64(r.Workers)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func printScalingRow(r scalingResult) {
+	label := r.Engine
+	if r.CacheEntries > 0 {
+		label = "cached-" + label
+	}
+	fmt.Printf("%-20s N=%-5d workers=%-3d %9.3f Mpps  speedup %5.2fx  efficiency %5.2f",
+		label, r.Rules, r.Workers, r.Mpps, r.Speedup, r.Efficiency)
+	if r.CacheEntries > 0 {
+		fmt.Printf("  %5.1f%% hits", 100*r.HitRate)
+	}
+	fmt.Println()
+}

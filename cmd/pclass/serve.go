@@ -18,6 +18,7 @@ import (
 	"pktclass/internal/cli"
 	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
+	"pktclass/internal/partition"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/serve"
 	"pktclass/internal/sim"
@@ -39,6 +40,7 @@ func runServe(args []string) {
 		tracePath   = fs.String("trace", "", "trace file; a directed trace is generated when empty")
 		packets     = fs.Int("packets", 50000, "generated trace length when -trace is empty")
 		cacheN      = fs.Int("cache", 0, "flow-cache capacity in entries fronting the engine (0 = uncached)")
+		steer       = fs.Bool("steer", false, "RSS-style flow steering: hash each packet's flow key to a fixed worker; with -cache the flow cache becomes worker-private shards (full queues block submitters instead of rejecting)")
 		skew        = fs.String("skew", "uniform", "generated-trace skew: uniform | zipf:S (e.g. zipf:1.2)")
 		flows       = fs.Int("flows", 4096, "flow population size for zipf traffic")
 		burst       = fs.Float64("burst", 4, "mean flow-burst length for zipf traffic")
@@ -81,6 +83,28 @@ func runServe(args []string) {
 		obs = newObs(*sample)
 	}
 
+	// The partitioned engines fan every batch into a package-shared
+	// sub-engine pool sized for one lone engine by default; under the
+	// serving layer the real concurrency is workers x partitions, so size
+	// it explicitly (capped — beyond the core count extra goroutines only
+	// add scheduler pressure; the inline-fallback counter reports any
+	// remaining undersizing).
+	if strings.HasPrefix(*engine, "part-") {
+		effWorkers := *workers
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		parts := *partsN
+		if parts <= 0 {
+			parts = runtime.GOMAXPROCS(0)
+		}
+		pool := effWorkers * parts
+		if lim := 4 * runtime.GOMAXPROCS(0); pool > lim {
+			pool = lim
+		}
+		partition.SetPoolSize(pool)
+	}
+
 	if *measure {
 		res, err := sim.ServeTrace(rs, build, hdrs, sim.ServeConfig{
 			Workers:      *workers,
@@ -89,6 +113,7 @@ func runServe(args []string) {
 			Swaps:        *swaps,
 			OpsPerSwap:   *opsPerSwap,
 			CacheEntries: *cacheN,
+			Steer:        *steer,
 			Churn:        true,
 			Incremental:  *incremental,
 			Seed:         *seed,
@@ -114,6 +139,7 @@ func runServe(args []string) {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
+		Steer:        *steer,
 		Incremental:  *incremental,
 		Seed:         *seed,
 		Obs:          obs,
@@ -199,6 +225,12 @@ func runServe(args []string) {
 	fmt.Printf("clients          %d over %s\n", *clients, *duration)
 	fmt.Printf("throughput       %.0f pkt/s\n", float64(total.Load())/duration.Seconds())
 	fmt.Printf("client retries   %d\n", retries.Load())
+	if svc.Steered() {
+		fmt.Printf("steered workers  %v packets each\n", svc.WorkerClassified())
+	}
+	if strings.HasPrefix(*engine, "part-") {
+		fmt.Printf("partition pool   %d workers, %d inline fallbacks\n", partition.PoolSize(), partition.InlineFallbacks())
+	}
 	fmt.Print(svc.Counters().Table())
 	if obs != nil {
 		printObsSummary(obs)

@@ -206,60 +206,51 @@ func (c *Cache) Stats() Stats {
 }
 
 // Hash mixes the 104 key bits into the 64-bit probe hash the cache shards
-// and buckets are addressed by (splitmix64-style finalizer over the two
-// key words).
+// and buckets are addressed by. It is packet.Key.Hash — the same flow hash
+// the serving layer steers workers with — so the bit-budget contract
+// documented there (steering consumes high bits, buckets consume low bits)
+// holds across both consumers by construction.
 //
 //pclass:hotpath
-func Hash(k packet.Key) uint64 {
-	hi := uint64(k[0])<<56 | uint64(k[1])<<48 | uint64(k[2])<<40 | uint64(k[3])<<32 |
-		uint64(k[4])<<24 | uint64(k[5])<<16 | uint64(k[6])<<8 | uint64(k[7])
-	lo := uint64(k[8])<<32 | uint64(k[9])<<24 | uint64(k[10])<<16 | uint64(k[11])<<8 |
-		uint64(k[12])
-	h := hi*0x9e3779b97f4a7c15 ^ lo
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
-}
+func Hash(k packet.Key) uint64 { return k.Hash() }
 
 // shardOf maps a hash to its shard index (high bits, independent of the
 // bucket index's low bits).
 func (c *Cache) shardOf(h uint64) int { return int(h >> c.shardShift) }
 
-// lookupLocked probes one bucket for key at generation gen. Caller holds
-// the shard lock. The second return distinguishes a hit from a miss; a
-// same-key entry from a retired generation counts as a stale drop and the
-// slot is left for insert to reclaim.
+// lookup probes the bucket for key at generation gen. The second return
+// distinguishes a hit from a miss; staleDropped reports that a same-key
+// entry from a retired generation was dropped (a lazy miss whose slot the
+// reinsert will reclaim). Both the sharded cache (under its shard lock)
+// and the single-writer Private variant share this bucket discipline — the
+// caller supplies the synchronization and owns the counters.
 //
 //pclass:hotpath
-func (c *Cache) lookupLocked(s *shard, h uint64, key packet.Key, gen uint64) (int32, bool) {
-	b := &s.buckets[h&c.bucketMask]
+func (b *bucket) lookup(key packet.Key, gen uint64) (result int32, hit, staleDropped bool) {
 	for i := range b.entries {
 		e := &b.entries[i]
 		if e.gen != 0 && e.key == key {
 			if e.gen == gen {
 				e.ref = true
-				return e.result, true
+				return e.result, true, false
 			}
 			// Same flow, retired build: a lazy miss. Drop it now so the
 			// reinsert reclaims this slot instead of evicting a live entry.
 			e.gen = 0
-			c.staleDrops.Inc()
-			return 0, false
+			return 0, false, true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }
 
-// insertLocked stores (key, gen, result), preferring in place the same
-// key, then an empty or stale slot, then the CLOCK victim. Caller holds
-// the shard lock.
+// insert stores (key, gen, result), preferring in place the same key, then
+// an empty or stale slot, then the CLOCK victim. evicted reports a live
+// same-generation entry was displaced; staleDrops counts retired-generation
+// entries reclaimed or refreshed over. Synchronization is the caller's, as
+// with lookup.
 //
 //pclass:hotpath
-func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, result int32) {
-	b := &s.buckets[h&c.bucketMask]
+func (b *bucket) insert(key packet.Key, gen uint64, result int32) (evicted bool, staleDrops int) {
 	victim := -1
 	for i := range b.entries {
 		e := &b.entries[i]
@@ -274,15 +265,15 @@ func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, res
 			// cross-generation refresh is effectively a new entry, so it
 			// also loses any accumulated second chance.
 			if e.gen != gen {
-				c.staleDrops.Inc()
+				staleDrops++
 				e.ref = false
 			}
 			e.gen, e.result = gen, result
-			return
+			return false, staleDrops
 		case e.gen != gen && victim < 0:
 			// Retired-generation entries are dead weight; reclaim before
 			// touching any live entry.
-			c.staleDrops.Inc()
+			staleDrops++
 			victim = i
 		}
 	}
@@ -303,11 +294,38 @@ func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, res
 		if victim < 0 {
 			victim = int(b.hand)
 		}
-		c.evictions.Inc()
+		evicted = true
 	}
 	// New entries start unreferenced: second chance is earned by a hit,
 	// otherwise a stream of one-shot flows would flush every hot entry.
 	b.entries[victim] = entry{key: key, result: result, gen: gen}
+	return evicted, staleDrops
+}
+
+// lookupLocked probes one bucket for key at generation gen, folding the
+// outcome into the cache counters. Caller holds the shard lock.
+//
+//pclass:hotpath
+func (c *Cache) lookupLocked(s *shard, h uint64, key packet.Key, gen uint64) (int32, bool) {
+	r, hit, stale := s.buckets[h&c.bucketMask].lookup(key, gen)
+	if stale {
+		c.staleDrops.Inc()
+	}
+	return r, hit
+}
+
+// insertLocked stores (key, gen, result) through the shared bucket
+// discipline. Caller holds the shard lock.
+//
+//pclass:hotpath
+func (c *Cache) insertLocked(s *shard, h uint64, key packet.Key, gen uint64, result int32) {
+	evicted, stale := s.buckets[h&c.bucketMask].insert(key, gen, result)
+	if evicted {
+		c.evictions.Inc()
+	}
+	if stale > 0 {
+		c.staleDrops.Add(int64(stale))
+	}
 }
 
 // Lookup probes the cache for one key at generation gen.

@@ -1,0 +1,204 @@
+// The single-writer cache variant behind RSS-style flow steering: when the
+// serving layer hashes every packet of a flow to the same worker, that
+// worker can own a private cache outright — no shard locks, no cross-core
+// cache-line traffic on the probe path, no pooled scratch handoff. The
+// bucket structure, CLOCK eviction and generation-tagged lazy invalidation
+// are shared with the sharded Cache (see bucket.lookup / bucket.insert);
+// only the synchronization differs: there is none, by construction.
+package flowcache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/metrics"
+	"pktclass/internal/obsv"
+	"pktclass/internal/packet"
+)
+
+// Private is a fixed-capacity exact-match flow cache owned by exactly one
+// goroutine. All mutating methods (Lookup, Insert, ClassifyBatchInto) must
+// be called from that owner; Stats and SetProbeHistogram are safe from any
+// goroutine (the counters are atomic so scrapes never race the owner).
+//
+// Generations work exactly as on the sharded Cache, but Private does not
+// allocate them: the serving layer owns one generation counter per service
+// and passes the live build's generation into every call, so a hot-swap
+// retires every worker's private entries at once without touching any of
+// the caches.
+type Private struct {
+	buckets    []bucket
+	bucketMask uint64
+
+	hits       metrics.Counter
+	misses     metrics.Counter
+	evictions  metrics.Counter
+	staleDrops metrics.Counter
+	lastGen    atomic.Uint64
+
+	probeHist atomic.Pointer[obsv.Histogram]
+
+	// Batch scratch, owned by the single writer: grown once, reused for
+	// every batch, never pooled — there is no concurrency to pool against.
+	hashes   []uint64
+	keys     []packet.Key
+	missIdx  []int32
+	missHdrs []packet.Header
+	missOut  []int
+}
+
+// NewPrivate builds a private cache with at least entries capacity,
+// rounded up to a power-of-two number of bucketWays-entry buckets
+// (entries <= 0 selects 1<<12 — per worker, not per service).
+func NewPrivate(entries int) *Private {
+	if entries <= 0 {
+		entries = 1 << 12
+	}
+	nBuckets := ceilPow2((entries + bucketWays - 1) / bucketWays)
+	return &Private{
+		buckets:    make([]bucket, nBuckets),
+		bucketMask: uint64(nBuckets - 1),
+	}
+}
+
+// Entries returns the fixed capacity.
+func (p *Private) Entries() int { return len(p.buckets) * bucketWays }
+
+// SetProbeHistogram directs batched probe-phase latency into h (nil
+// disables). Safe to call while the owner is serving.
+func (p *Private) SetProbeHistogram(h *obsv.Histogram) { p.probeHist.Store(h) }
+
+// Stats snapshots the counters. Safe from any goroutine; Generation is the
+// newest generation the owner has served.
+func (p *Private) Stats() Stats {
+	return Stats{
+		Hits:       p.hits.Value(),
+		Misses:     p.misses.Value(),
+		Evictions:  p.evictions.Value(),
+		StaleDrops: p.staleDrops.Value(),
+		Entries:    p.Entries(),
+		Shards:     1,
+		Generation: p.lastGen.Load(),
+	}
+}
+
+// Lookup probes the cache for one key at generation gen. Owner only.
+//
+//pclass:hotpath
+func (p *Private) Lookup(key packet.Key, gen uint64) (int32, bool) {
+	r, hit, stale := p.buckets[Hash(key)&p.bucketMask].lookup(key, gen)
+	if stale {
+		p.staleDrops.Inc()
+	}
+	if hit {
+		p.hits.Inc()
+	} else {
+		p.misses.Inc()
+	}
+	return r, hit
+}
+
+// Insert stores one classification result for key at generation gen.
+// Owner only.
+//
+//pclass:hotpath
+func (p *Private) Insert(key packet.Key, gen uint64, result int32) {
+	evicted, stale := p.buckets[Hash(key)&p.bucketMask].insert(key, gen, result)
+	if evicted {
+		p.evictions.Inc()
+	}
+	if stale > 0 {
+		p.staleDrops.Add(int64(stale))
+	}
+}
+
+// grow ensures the batch scratch holds n packets.
+func (p *Private) grow(n int) {
+	if cap(p.hashes) < n {
+		p.hashes = make([]uint64, n)
+		p.keys = make([]packet.Key, n)
+		p.missIdx = make([]int32, n)
+		p.missHdrs = make([]packet.Header, n)
+		p.missOut = make([]int, n)
+	}
+	p.hashes = p.hashes[:n]
+	p.keys = p.keys[:n]
+}
+
+// ClassifyBatchInto classifies hdrs into out at generation gen, answering
+// what it can from the cache and calling classifyMisses exactly once (when
+// there are misses) with the compacted miss set; fresh results are
+// inserted before returning. Unlike the sharded batch path there is no
+// counting sort and no lock: probes run in arrival order on the owner's
+// core. Steady state allocates nothing. Owner only; classifyMisses must
+// not retain its argument slices.
+//
+//pclass:hotpath
+func (p *Private) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
+	n := len(hdrs)
+	if n == 0 {
+		return
+	}
+	if len(out) != n {
+		panic(fmt.Sprintf("flowcache: batch output length %d != input length %d", len(out), n))
+	}
+	if p.lastGen.Load() != gen {
+		p.lastGen.Store(gen)
+	}
+	p.grow(n)
+
+	probeHist := p.probeHist.Load()
+	var probeStart time.Time
+	if probeHist != nil {
+		probeStart = time.Now()
+	}
+	hits, stale, m := 0, 0, 0
+	for i, h := range hdrs {
+		k := h.Key()
+		p.keys[i] = k
+		hv := k.Hash()
+		p.hashes[i] = hv
+		r, hit, staleDropped := p.buckets[hv&p.bucketMask].lookup(k, gen)
+		if staleDropped {
+			stale++
+		}
+		if hit {
+			out[i] = int(r)
+			hits++
+			continue
+		}
+		p.missIdx[m] = int32(i)
+		p.missHdrs[m] = hdrs[i]
+		m++
+	}
+	if probeHist != nil {
+		probeHist.Observe(time.Since(probeStart))
+	}
+	p.hits.Add(int64(hits))
+	p.misses.Add(int64(n - hits))
+	if stale > 0 {
+		p.staleDrops.Add(int64(stale))
+	}
+	if m == 0 {
+		return
+	}
+
+	missHdrs, missOut := p.missHdrs[:m], p.missOut[:m]
+	classifyMisses(missHdrs, missOut)
+	evicted, insStale := 0, 0
+	for j, pi := range p.missIdx[:m] {
+		out[pi] = missOut[j]
+		ev, st := p.buckets[p.hashes[pi]&p.bucketMask].insert(p.keys[pi], gen, int32(missOut[j]))
+		if ev {
+			evicted++
+		}
+		insStale += st
+	}
+	if evicted > 0 {
+		p.evictions.Add(int64(evicted))
+	}
+	if insStale > 0 {
+		p.staleDrops.Add(int64(insStale))
+	}
+}

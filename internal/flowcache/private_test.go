@@ -1,0 +1,172 @@
+package flowcache
+
+import (
+	"testing"
+
+	"pktclass/internal/packet"
+)
+
+func TestPrivateLookupInsertRoundTrip(t *testing.T) {
+	p := NewPrivate(1024)
+	h := packet.Header{SIP: 0x0a000001, DIP: 0x0a000002, SP: 1234, DP: 80, Proto: 6}
+	k := h.Key()
+	if _, ok := p.Lookup(k, 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	p.Insert(k, 1, 42)
+	r, ok := p.Lookup(k, 1)
+	if !ok || r != 42 {
+		t.Fatalf("lookup after insert: got %d,%v want 42,true", r, ok)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPrivateGenerationMismatchIsMiss(t *testing.T) {
+	p := NewPrivate(256)
+	k := packet.Header{SIP: 1, DIP: 2, SP: 3, DP: 4, Proto: 5}.Key()
+	p.Insert(k, 1, 7)
+	if _, ok := p.Lookup(k, 2); ok {
+		t.Fatal("retired-generation entry served")
+	}
+	if got := p.Stats().StaleDrops; got != 1 {
+		t.Fatalf("stale drops = %d, want 1", got)
+	}
+	// The stale entry's slot was reclaimed: the re-insert under the new
+	// generation hits again.
+	p.Insert(k, 2, 9)
+	if r, ok := p.Lookup(k, 2); !ok || r != 9 {
+		t.Fatalf("reinsert under fresh generation: got %d,%v", r, ok)
+	}
+}
+
+// The batched private path must agree with per-packet Lookup/Insert
+// semantics and with the engine it fronts, including across a generation
+// bump mid-stream.
+func TestPrivateClassifyBatchIntoMatchesEngine(t *testing.T) {
+	p := NewPrivate(4096)
+	classify := func(h packet.Header) int { return int(h.SIP^h.DIP) & 0xff }
+	missFn := func(hdrs []packet.Header, out []int) {
+		for i, h := range hdrs {
+			out[i] = classify(h)
+		}
+	}
+	mkTrace := func(n, flows int, seed uint32) []packet.Header {
+		hdrs := make([]packet.Header, n)
+		for i := range hdrs {
+			f := uint32(i%flows) + seed
+			hdrs[i] = packet.Header{SIP: f, DIP: f * 2654435761, SP: uint16(f), DP: 80, Proto: 6}
+		}
+		return hdrs
+	}
+	for gen := uint64(1); gen <= 3; gen++ {
+		trace := mkTrace(1000, 64, uint32(gen)*1000)
+		out := make([]int, len(trace))
+		for pass := 0; pass < 3; pass++ {
+			p.ClassifyBatchInto(gen, trace, out, missFn)
+			for i, h := range trace {
+				if want := classify(h); out[i] != want {
+					t.Fatalf("gen %d pass %d packet %d: got %d want %d", gen, pass, i, out[i], want)
+				}
+			}
+		}
+	}
+	if st := p.Stats(); st.Generation != 3 {
+		t.Fatalf("generation = %d, want 3", st.Generation)
+	}
+}
+
+func TestPrivateBatchAllHitsSkipsEngine(t *testing.T) {
+	p := NewPrivate(4096)
+	trace := make([]packet.Header, 256)
+	for i := range trace {
+		f := uint32(i % 32)
+		trace[i] = packet.Header{SIP: f, DIP: ^f, SP: 7, DP: 7, Proto: 17}
+	}
+	out := make([]int, len(trace))
+	calls := 0
+	missFn := func(hdrs []packet.Header, o []int) {
+		calls++
+		for i := range hdrs {
+			o[i] = 5
+		}
+	}
+	p.ClassifyBatchInto(1, trace, out, missFn)
+	p.ClassifyBatchInto(1, trace, out, missFn)
+	if calls != 1 {
+		t.Fatalf("engine called %d times, want 1 (second pass must be all hits)", calls)
+	}
+}
+
+func TestPrivateBatchZeroAllocSteadyState(t *testing.T) {
+	p := NewPrivate(4096)
+	trace := make([]packet.Header, 512)
+	for i := range trace {
+		f := uint32(i % 128)
+		trace[i] = packet.Header{SIP: f * 3, DIP: f * 5, SP: uint16(f), DP: 443, Proto: 6}
+	}
+	out := make([]int, len(trace))
+	missFn := func(hdrs []packet.Header, o []int) {
+		for i := range hdrs {
+			o[i] = int(hdrs[i].SIP) & 0x7f
+		}
+	}
+	p.ClassifyBatchInto(1, trace, out, missFn) // warm scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		p.ClassifyBatchInto(1, trace, out, missFn)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state private batch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestPrivateClockEvictionUnderPressure(t *testing.T) {
+	p := NewPrivate(bucketWays) // one bucket
+	if len(p.buckets) != 1 {
+		t.Fatalf("want 1 bucket, got %d", len(p.buckets))
+	}
+	for i := 0; i < 4*bucketWays; i++ {
+		k := packet.Header{SIP: uint32(i), DIP: 9, SP: 9, DP: 9, Proto: 9}.Key()
+		p.Insert(k, 1, int32(i))
+	}
+	if got := p.Stats().Evictions; got < int64(2*bucketWays) {
+		t.Fatalf("evictions = %d, want >= %d", got, 2*bucketWays)
+	}
+}
+
+// BenchmarkPrivateBatch is the CI allocation gate for the per-worker
+// cache probe path: one op = one mixed hit/miss batch through
+// ClassifyBatchInto. Steady state must not allocate.
+func BenchmarkPrivateBatch(b *testing.B) {
+	p := NewPrivate(4096)
+	trace := make([]packet.Header, 512)
+	for i := range trace {
+		f := uint32(i % 192)
+		trace[i] = packet.Header{SIP: f * 7, DIP: f * 11, SP: uint16(f), DP: 53, Proto: 17}
+	}
+	out := make([]int, len(trace))
+	missFn := func(hdrs []packet.Header, o []int) {
+		for i := range hdrs {
+			o[i] = int(hdrs[i].DIP) & 0x3f
+		}
+	}
+	p.ClassifyBatchInto(1, trace, out, missFn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ClassifyBatchInto(1, trace, out, missFn)
+	}
+}
+
+// Hash must be the packet steering hash, byte for byte: steering and cache
+// addressing agree on the flow identity.
+func TestHashIsPacketKeyHash(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := packet.Header{SIP: uint32(i) * 2654435761, DIP: uint32(i) * 40503, SP: uint16(i), DP: uint16(i * 3), Proto: uint8(i)}.Key()
+		if Hash(k) != k.Hash() {
+			t.Fatalf("flowcache.Hash diverges from packet.Key.Hash on %v", k)
+		}
+	}
+}

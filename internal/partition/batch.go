@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pktclass/internal/core"
 	"pktclass/internal/packet"
@@ -34,25 +35,70 @@ func (t *batchTask) run() {
 	t.wg.Done()
 }
 
+// poolQueueDepth is the shared task queue's fixed capacity. It is sized
+// generously and independently of the worker count so that growing the
+// pool (SetPoolSize) never needs to replace the channel — replacing it
+// would race every concurrent submitter.
+const poolQueueDepth = 256
+
 var (
-	workersOnce sync.Once
-	taskCh      chan *batchTask
+	poolOnce sync.Once
+	taskCh   chan *batchTask
+
+	// poolMu guards pool growth; poolWorkers is the goroutine count. The
+	// atomic mirror lets the per-batch ensurePool fast path skip the lock
+	// once the pool is at size — batches from many serving workers would
+	// otherwise serialize on pool bookkeeping, a cross-core bottleneck on
+	// exactly the path that exists to scale across cores.
+	poolMu          sync.Mutex
+	poolWorkers     int
+	poolWorkersFast atomic.Int32
+
+	inlineFallbacks atomic.Int64
 )
 
-func startWorkers() {
-	n := runtime.GOMAXPROCS(0)
+// ensurePool creates the shared queue once and grows the worker pool to
+// at least n goroutines. The pool never shrinks: workers range on the
+// shared channel and cannot be retired without a shutdown protocol the
+// hot-swap design deliberately avoids.
+func ensurePool(n int) {
+	poolOnce.Do(func() { taskCh = make(chan *batchTask, poolQueueDepth) })
 	if n < 1 {
 		n = 1
 	}
-	taskCh = make(chan *batchTask, 2*n)
-	for i := 0; i < n; i++ {
+	if int(poolWorkersFast.Load()) >= n {
+		return
+	}
+	poolMu.Lock()
+	for poolWorkers < n {
+		poolWorkers++
 		go func() {
 			for t := range taskCh {
 				t.run()
 			}
 		}()
 	}
+	poolWorkersFast.Store(int32(poolWorkers))
+	poolMu.Unlock()
 }
+
+// SetPoolSize grows the package-shared sub-engine worker pool to at
+// least n goroutines. The default (first ClassifyBatch with no explicit
+// size) is GOMAXPROCS — correct for one engine serving alone, but under
+// a steered serving layer every service worker fans its sub-batch into
+// the same pool, so callers that know the real concurrency (service
+// workers × partitions) should size it explicitly. Safe for concurrent
+// use; n <= current size is a no-op.
+func SetPoolSize(n int) { ensurePool(n) }
+
+// PoolSize reports the current worker pool size (0 before first use).
+func PoolSize() int { return int(poolWorkersFast.Load()) }
+
+// InlineFallbacks reports how many sub-batch tasks ran inline on the
+// submitting goroutine because the pool queue was full. A climbing value
+// under load means the pool is undersized for the offered concurrency —
+// the signal SetPoolSize exists to act on.
+func InlineFallbacks() int64 { return inlineFallbacks.Load() }
 
 // submit hands a task to the pool, or runs it inline when the pool is
 // saturated. Workers never submit, so inline fallback cannot deadlock.
@@ -60,6 +106,7 @@ func submit(t *batchTask) {
 	select {
 	case taskCh <- t:
 	default:
+		inlineFallbacks.Add(1)
 		t.run()
 	}
 }
@@ -106,7 +153,7 @@ func (e *Engine) getBatchScratch(batch int) *batchScratch {
 // min-merged by global rule index. Safe for concurrent use; allocation-
 // free in steady state once the recycled scratch has warmed up.
 func (e *Engine) ClassifyBatch(hdrs []packet.Header, out []int) {
-	workersOnce.Do(startWorkers)
+	ensurePool(runtime.GOMAXPROCS(0))
 	sc := e.getBatchScratch(len(hdrs))
 	nt := 0
 

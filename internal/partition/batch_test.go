@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pktclass/internal/packet"
+)
+
+// gateEngine blocks inside Classify until released — the lever the pool
+// tests use to hold workers busy deterministically. entered counts
+// goroutines that reached the gate, so tests can wait for workers to be
+// genuinely parked rather than merely queued.
+type gateEngine struct {
+	gate    chan struct{}
+	entered atomic.Int32
+}
+
+func (g *gateEngine) Name() string                     { return "gate" }
+func (g *gateEngine) NumRules() int                    { return 0 }
+func (g *gateEngine) MultiMatch(h packet.Header) []int { return nil }
+func (g *gateEngine) Classify(h packet.Header) int {
+	g.entered.Add(1)
+	<-g.gate
+	return -1
+}
+
+// The package-shared pool must honor explicit sizing: grow to the
+// requested count, and never shrink (workers range on the shared queue
+// and cannot be retired).
+func TestPoolExplicitSizing(t *testing.T) {
+	ensurePool(1)
+	before := PoolSize()
+	if before < 1 {
+		t.Fatalf("pool size %d after ensurePool(1)", before)
+	}
+	SetPoolSize(before + 3)
+	if got := PoolSize(); got != before+3 {
+		t.Fatalf("SetPoolSize(%d): pool size %d", before+3, got)
+	}
+	SetPoolSize(1)
+	if got := PoolSize(); got != before+3 {
+		t.Fatalf("pool shrank to %d after SetPoolSize(1)", got)
+	}
+}
+
+// When every worker is busy and the queue is full, submit must run the
+// task inline on the caller and count the fallback — throughput degrades
+// to sequential, never to deadlock, and the undersizing is observable.
+func TestPoolInlineFallbackCounts(t *testing.T) {
+	ensurePool(1)
+	gate := make(chan struct{})
+	eng := &gateEngine{gate: gate}
+	hdr := []packet.Header{{}}
+
+	// Park every pool worker on the gate.
+	workers := PoolSize()
+	var parked sync.WaitGroup
+	parked.Add(workers)
+	for i := 0; i < workers; i++ {
+		out := make([]int, 1)
+		taskCh <- &batchTask{eng: eng, hdrs: hdr, out: out, wg: &parked}
+	}
+	// Wait until every worker is actually blocked inside Classify —
+	// otherwise a late worker could drain a queue slot after the fill
+	// loop below observes a full channel, and submit would enqueue
+	// instead of falling back inline.
+	deadline := time.Now().Add(10 * time.Second)
+	for int(eng.entered.Load()) < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers parked", eng.entered.Load(), workers)
+		}
+		runtime.Gosched()
+	}
+	// Fill the queue to capacity behind them.
+	var queued sync.WaitGroup
+	for len(taskCh) < cap(taskCh) {
+		queued.Add(1)
+		taskCh <- &batchTask{eng: eng, hdrs: hdr, out: make([]int, 1), wg: &queued}
+	}
+
+	// Pool saturated and provably frozen (workers parked, gate shut,
+	// queue full): this submit must run inline on the calling goroutine.
+	// An already-open gate on the inline task keeps it from blocking.
+	before := InlineFallbacks()
+	open := make(chan struct{})
+	close(open)
+	var inline sync.WaitGroup
+	inline.Add(1)
+	submit(&batchTask{eng: &gateEngine{gate: open}, hdrs: hdr, out: make([]int, 1), wg: &inline})
+	inline.Wait()
+	if got := InlineFallbacks(); got != before+1 {
+		t.Fatalf("inline fallbacks went %d -> %d, want +1", before, got)
+	}
+
+	// Release the world and drain.
+	close(gate)
+	parked.Wait()
+	queued.Wait()
+}

@@ -79,6 +79,21 @@ type Config struct {
 	// CacheShards overrides the cache's shard count (0 selects the
 	// flowcache default).
 	CacheShards int
+	// Steer enables RSS-style flow steering: Submit hashes every packet's
+	// key (packet.Key.Hash, the flow cache's splitmix64) and scatters the
+	// batch so all packets of a flow land on the worker SteerWorker picks —
+	// per-flow FIFO order, worker-private state, zero cross-core cache-line
+	// traffic on the classify path. With CacheEntries > 0 the flow cache
+	// becomes one single-writer flowcache.Private instance per worker
+	// (capacity split evenly) instead of the shared sharded cache; the
+	// generation-tagged invalidation contract across hot-swaps is unchanged
+	// (the service allocates one generation per engine build and the swap
+	// retires every worker's entries at once, lazily).
+	//
+	// Backpressure differs by design: a steered sub-batch cannot spill to
+	// another worker without breaking flow affinity, so a full target queue
+	// blocks the submitter instead of returning ErrQueueFull.
+	Steer bool
 	// Incremental routes ApplyOps through the engines' O(delta) update
 	// primitives (StrideBV stage-memory column flips, TCAM per-row SRL16E
 	// shift-in writes) instead of a full shadow rebuild, whenever the delta
@@ -195,15 +210,41 @@ func (c Counters) Table() *metrics.Table {
 	return t
 }
 
+// live is one published engine build: the classifier plus the flow-cache
+// generation it was built under. Workers load the pair with one pointer
+// load, so an engine and its generation can never be observed torn — the
+// property the per-worker private caches depend on (a steered batch
+// probing generation g always classifies misses on the build g names).
+type live struct {
+	eng core.Engine
+	// gen is the build's cache generation. On the steered path it tags
+	// every private-cache entry; on the legacy path it is 0 and the Cached
+	// wrapper inside eng carries the generation instead.
+	gen uint64
+}
+
+// item is one queue element: exactly one of p (a whole batch, legacy
+// round-robin path) or t (one worker's share of a steered batch) is set.
+type item struct {
+	p *Pending
+	t *steerTask
+}
+
 // Service classifies submitted batches on worker goroutines against a
 // hot-swappable engine. All methods are safe for concurrent use.
 type Service struct {
 	cfg   Config
 	build BuildFunc
 
-	// engine is the live classifier. Workers Load it once per batch;
-	// updaters Store a fully built and verified replacement.
-	engine atomic.Pointer[core.Engine]
+	// engine is the live classifier (with its cache generation). Workers
+	// Load it once per batch; updaters Store a fully built and verified
+	// replacement.
+	engine atomic.Pointer[live]
+
+	// gens allocates one never-reused cache generation per engine build on
+	// the steered path (the shared cache owns its own counter on the
+	// legacy path).
+	gens atomic.Uint64
 
 	// mu serializes updaters and guards rs, the ruleset the live engine
 	// was built from. Classification never takes it.
@@ -220,10 +261,17 @@ type Service struct {
 	// hold it shared, Close holds it exclusively while closing the shards.
 	lifecycle sync.RWMutex
 	closed    bool
-	shards    []chan *Pending
-	next      atomic.Uint64 // round-robin shard cursor
+	shards    []chan item
+	next      atomic.Uint64 // round-robin shard cursor (legacy path)
 	queued    atomic.Int64
 	wg        sync.WaitGroup
+
+	// workers holds the per-worker state of the steered path: the private
+	// flow cache and the pre-bound miss fallback. Populated for every
+	// service (the legacy path uses only the loop), sized len(shards).
+	workers []*worker
+	// steerPool recycles steered scatter scratch (see steer.go).
+	steerPool sync.Pool
 
 	// The counters live in reg — the Obs base registry when observability
 	// is wired, a private registry otherwise — so Counters(), /metrics and
@@ -246,6 +294,12 @@ type Service struct {
 
 	// obs is Config.Obs; nil disables every observability branch.
 	obs *obsv.Obs
+
+	// testObserveSteer, when set by tests before any Submit, is called by
+	// each worker with its id and the sub-batch it is about to classify —
+	// the probe the flow-affinity proof uses to see which worker touched
+	// which flow. Nil in production; the hot path carries one nil check.
+	testObserveSteer func(worker int, hdrs []packet.Header)
 
 	// testCorruptDelta, when set by tests, mangles the lowered delta batch
 	// before it reaches the engine — so the incrementally updated engine
@@ -273,7 +327,7 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		build:    build,
 		rs:       rs,
 		swapSeed: cfg.Seed,
-		shards:   make([]chan *Pending, cfg.Workers),
+		shards:   make([]chan item, cfg.Workers),
 		obs:      cfg.Obs,
 	}
 	s.reg = &metrics.Registry{}
@@ -292,14 +346,14 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 	s.incrementalSwaps = s.reg.Counter("serve.incremental_swaps")
 	s.incrementalRollbacks = s.reg.Counter("serve.incremental_rollbacks")
 	s.incrementalFallbacks = s.reg.Counter("serve.incremental_fallbacks")
-	if cfg.CacheEntries > 0 {
+	if cfg.CacheEntries > 0 && !cfg.Steer {
 		s.cache = flowcache.New(flowcache.Config{Entries: cfg.CacheEntries, Shards: cfg.CacheShards})
 		if cfg.Obs != nil {
 			s.cache.SetProbeHistogram(cfg.Obs.CacheProbe)
 		}
 		eng = core.NewCached(eng, s.cache)
 	}
-	s.engine.Store(&eng)
+	s.engine.Store(&live{eng: eng, gen: s.gens.Add(1)})
 	// Distribute QueueDepth across the shards so the total buffered
 	// capacity equals QueueDepth exactly: per-shard ceil rounding would
 	// exceed the documented bound whenever the depth doesn't divide evenly
@@ -307,33 +361,73 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 	// QueueDepth%Workers shards take the remainder; a zero-capacity shard
 	// still accepts work by direct handoff to its idle worker.
 	base, rem := cfg.QueueDepth/cfg.Workers, cfg.QueueDepth%cfg.Workers
+	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.shards {
 		depth := base
 		if i < rem {
 			depth++
 		}
-		s.shards[i] = make(chan *Pending, depth)
+		s.shards[i] = make(chan item, depth)
+		w := &worker{s: s, id: i}
+		if cfg.Steer && cfg.CacheEntries > 0 {
+			// Capacity split evenly: the steering hash spreads flows
+			// uniformly, so per-worker slices see ~1/W of the flow space.
+			w.cache = flowcache.NewPrivate(cfg.CacheEntries / cfg.Workers)
+			if cfg.Obs != nil {
+				w.cache.SetProbeHistogram(cfg.Obs.CacheProbe)
+			}
+		}
+		w.missFn = func(hdrs []packet.Header, out []int) {
+			core.ClassifyBatchInto(w.eng, hdrs, out)
+		}
+		s.workers[i] = w
 		s.wg.Add(1)
-		go s.worker(s.shards[i])
+		go w.run(s.shards[i])
 	}
 	return s, nil
 }
 
-// worker drains one shard queue, classifying each batch against the
-// engine version loaded once at batch start.
+// worker is one classification goroutine's private state. eng and the
+// miss fallback are only ever touched by the owning goroutine; cache
+// statistics are atomic so scrapes never race the owner.
+type worker struct {
+	s  *Service
+	id int
+	// cache is the worker-private flow cache (steered mode with caching
+	// only; nil otherwise).
+	cache *flowcache.Private
+	// eng is the batch-scoped engine target of missFn, set by the owner
+	// before each private-cache batch call.
+	eng core.Engine
+	// missFn is the pre-bound cache-miss fallback, built once so the hot
+	// path never constructs a closure.
+	missFn func([]packet.Header, []int)
+	// classified counts packets this worker classified (for the per-worker
+	// exposition gauges).
+	classified atomic.Int64
+}
+
+// run drains one shard queue. Legacy items carry a whole batch; steered
+// items carry this worker's share of a batch.
 //
 //pclass:hotpath
-func (s *Service) worker(shard chan *Pending) {
+func (w *worker) run(shard chan item) {
+	s := w.s
 	defer s.wg.Done()
 	// range drains everything still queued after Close closes the shard:
 	// graceful shutdown completes in-flight batches rather than dropping
 	// them.
-	for p := range shard {
+	for it := range shard {
 		s.depth.Set(s.queued.Add(-1))
+		if it.t != nil {
+			w.runSteered(it.t)
+			continue
+		}
+		p := it.p
 		// One engine load per batch keeps the batch on a single engine
 		// version; the native batch path classifies the whole batch with
 		// no per-packet dispatch or allocation.
-		eng := *s.engine.Load()
+		eng := s.engine.Load().eng
 		if obs := s.obs; obs != nil {
 			obs.SubmitWait.Observe(time.Since(p.enq))
 			// The sampled packet (at most one per batch) is traced through
@@ -351,6 +445,7 @@ func (s *Service) worker(shard chan *Pending) {
 		} else {
 			core.ClassifyBatchInto(eng, p.hdrs, p.results)
 		}
+		w.classified.Add(int64(len(p.hdrs)))
 		s.classified.Add(int64(len(p.hdrs)))
 		s.batches.Inc()
 		close(p.done)
@@ -359,7 +454,9 @@ func (s *Service) worker(shard chan *Pending) {
 
 // Submit enqueues a batch for classification without blocking. It fails
 // with ErrQueueFull when every shard is at capacity (backpressure) and
-// ErrClosed after Close.
+// ErrClosed after Close. With Config.Steer the batch is scattered to the
+// flow-owning workers instead, and a full target queue blocks rather than
+// rejecting (flow affinity forbids spilling to another worker).
 func (s *Service) Submit(hdrs []packet.Header) (*Pending, error) {
 	p := &Pending{
 		hdrs:    hdrs,
@@ -381,13 +478,17 @@ func (s *Service) Submit(hdrs []packet.Header) (*Pending, error) {
 	if s.obs != nil {
 		p.enq = time.Now()
 	}
+	if s.cfg.Steer {
+		s.submitSteeredLocked(hdrs, p.results, p)
+		return p, nil
+	}
 	// Round-robin across shards, falling through to any shard with room
 	// before declaring backpressure.
 	start := int(s.next.Add(1) % uint64(len(s.shards)))
 	for i := 0; i < len(s.shards); i++ {
 		shard := s.shards[(start+i)%len(s.shards)]
 		select {
-		case shard <- p:
+		case shard <- item{p: p}:
 			s.depth.Set(s.queued.Add(1))
 			return p, nil
 		default:
@@ -407,7 +508,14 @@ func (s *Service) Classify(ctx context.Context, hdrs []packet.Header) ([]int, er
 }
 
 // Engine returns the engine currently serving traffic.
-func (s *Service) Engine() core.Engine { return *s.engine.Load() }
+func (s *Service) Engine() core.Engine { return s.engine.Load().eng }
+
+// Generation returns the cache generation of the live build (0 on the
+// legacy path, where the Cached wrapper owns the generation).
+func (s *Service) Generation() uint64 { return s.engine.Load().gen }
+
+// Steered reports whether the service runs the RSS-style steered path.
+func (s *Service) Steered() bool { return s.cfg.Steer }
 
 // RuleSet returns the ruleset the live engine was built from. The returned
 // set is replaced, never mutated, by updates — callers may read it freely.
@@ -474,8 +582,8 @@ func (s *Service) applyIncrementalLocked(ops []update.Op, next *ruleset.RuleSet)
 	if s.testCorruptDelta != nil {
 		s.testCorruptDelta(rules, entries)
 	}
-	live := *s.engine.Load()
-	eng, err := update.ApplyDeltasToEngine(live, rules, entries)
+	cur := s.engine.Load().eng
+	eng, err := update.ApplyDeltasToEngine(cur, rules, entries)
 	if err != nil {
 		return err
 	}
@@ -503,7 +611,9 @@ func (s *Service) applyIncrementalLocked(ops []update.Op, next *ruleset.RuleSet)
 		eng = core.NewCached(eng, s.cache)
 	}
 	s.rs = next
-	s.engine.Store(&eng)
+	// On the steered path the fresh generation retires every worker's
+	// private entries the same lazy way the shared cache retires its own.
+	s.engine.Store(&live{eng: eng, gen: s.gens.Add(1)})
 	s.incrementalSwaps.Inc()
 	elapsed := time.Since(start)
 	s.swapLatency.Observe(elapsed)
@@ -559,7 +669,7 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 		shadow = core.NewCached(shadow, s.cache)
 	}
 	s.rs = next
-	s.engine.Store(&shadow)
+	s.engine.Store(&live{eng: shadow, gen: s.gens.Add(1)})
 	s.swaps.Inc()
 	elapsed := time.Since(start)
 	s.swapLatency.Observe(elapsed)
@@ -589,12 +699,55 @@ func (s *Service) ShardDepths() []int {
 func (s *Service) Workers() int { return len(s.shards) }
 
 // CacheStats snapshots the flow cache counters; ok is false when the
-// service runs uncached.
+// service runs uncached. In steered mode the per-worker private caches
+// are aggregated into one view (Shards = worker count, Generation = the
+// newest generation any worker has served).
 func (s *Service) CacheStats() (stats flowcache.Stats, ok bool) {
-	if s.cache == nil {
+	if s.cache != nil {
+		return s.cache.Stats(), true
+	}
+	if !s.cfg.Steer || s.workers[0].cache == nil {
 		return flowcache.Stats{}, false
 	}
-	return s.cache.Stats(), true
+	var agg flowcache.Stats
+	for _, w := range s.workers {
+		st := w.cache.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.StaleDrops += st.StaleDrops
+		agg.Entries += st.Entries
+		agg.Shards++
+		if st.Generation > agg.Generation {
+			agg.Generation = st.Generation
+		}
+	}
+	return agg, true
+}
+
+// WorkerCacheStats snapshots each worker's private flow cache in steered
+// mode (nil when the service is unsteered or uncached). Index i is worker
+// i's cache — the flows SteerWorker maps there and nothing else.
+func (s *Service) WorkerCacheStats() []flowcache.Stats {
+	if !s.cfg.Steer || s.workers[0].cache == nil {
+		return nil
+	}
+	out := make([]flowcache.Stats, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.cache.Stats()
+	}
+	return out
+}
+
+// WorkerClassified reports each worker's classified-packet count, the
+// steering skew made visible: uniform flows should spread these evenly,
+// a Zipf trace will not.
+func (s *Service) WorkerClassified() []int64 {
+	out := make([]int64, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.classified.Load()
+	}
+	return out
 }
 
 // Counters snapshots the service statistics.
@@ -614,9 +767,9 @@ func (s *Service) Counters() Counters {
 		SwapLatencyMean:      s.swapLatency.Mean(),
 		SwapLatencyMax:       s.swapLatency.Max(),
 	}
-	if s.cache != nil {
+	if st, ok := s.CacheStats(); ok {
 		c.CacheEnabled = true
-		c.Cache = s.cache.Stats()
+		c.Cache = st
 	}
 	return c
 }

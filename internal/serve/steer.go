@@ -1,0 +1,250 @@
+// The RSS-style steered submission path: Submit hashes every packet's
+// flow key and scatters the batch so each worker receives exactly the
+// packets whose flows it owns. The payoff is the same one hardware RSS
+// buys a multi-queue NIC — per-flow FIFO order for free, worker-private
+// cache state with a single writer, and no cross-core cache-line traffic
+// on the classify path. The cost is a gather/scatter hop per batch, paid
+// on the submitter's core from pooled scratch so the steady state
+// allocates nothing.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pktclass/internal/core"
+	"pktclass/internal/packet"
+)
+
+// steerTask is one worker's share of a steered batch: the gathered
+// headers, their positions in the original batch, and a private result
+// buffer the worker fills before scattering back into the batch output.
+// A task is written by the submitter, sent by value-pointer through the
+// worker's shard channel, mutated only by that worker, and reset when the
+// batch completes — there is no concurrent access to any field.
+type steerTask struct {
+	sc   *steerScratch
+	hdrs []packet.Header // this worker's packets, in batch order
+	idx  []int32         // original batch positions, parallel to hdrs
+	res  []int           // worker-filled results, parallel to hdrs
+	out  []int           // the whole batch's output slice
+	p    *Pending        // async submit; nil on the ClassifySteered path
+	// l is the (engine, generation) pair pinned by the submitter with ONE
+	// atomic load for the whole batch. Workers classify their sub-batches
+	// against it rather than re-loading: a batch scattered across workers
+	// still lands atomically on a single engine version, the same batch
+	// atomicity the legacy whole-batch path provides.
+	l *live
+}
+
+// steerScratch is the per-batch scatter state, pooled on the Service. One
+// task per worker; wg completes synchronous batches, pending completes
+// asynchronous ones (the last finishing worker closes the Pending and
+// returns the scratch to the pool).
+type steerScratch struct {
+	s       *Service
+	tasks   []steerTask
+	wg      sync.WaitGroup
+	pending atomic.Int32
+}
+
+// getSteerScratch fetches (or builds) scatter scratch sized to the worker
+// count. The pool bounds steady-state allocation: after warm-up every
+// steered batch reuses a previously grown scratch.
+func (s *Service) getSteerScratch() *steerScratch {
+	if sc, ok := s.steerPool.Get().(*steerScratch); ok {
+		return sc
+	}
+	sc := &steerScratch{s: s, tasks: make([]steerTask, len(s.shards))}
+	for i := range sc.tasks {
+		sc.tasks[i].sc = sc
+	}
+	return sc
+}
+
+// release resets the tasks (dropping every reference into the caller's
+// batch, so the pool never retains foreign slices) and returns the
+// scratch to the pool. Capacity — hdrs/idx/res backing arrays — is kept.
+func (sc *steerScratch) release() {
+	for i := range sc.tasks {
+		t := &sc.tasks[i]
+		t.hdrs = t.hdrs[:0]
+		t.idx = t.idx[:0]
+		t.out = nil
+		t.p = nil
+		t.l = nil
+	}
+	sc.s.steerPool.Put(sc)
+}
+
+// dispatch gathers hdrs into per-worker tasks by flow hash and sends each
+// non-empty task to its owner's shard. Sends block on a full shard: a
+// steered sub-batch cannot spill to another worker without breaking flow
+// affinity, so backpressure here is latency, not ErrQueueFull. The
+// completion count (wg for synchronous, pending for asynchronous) is
+// armed before the first send — a worker may finish its task before the
+// submitter has sent the next one.
+//
+// Callers hold s.lifecycle shared with s.closed false, which pins every
+// shard open; the blocking sends cannot deadlock against Close because
+// workers drain their shards without touching the lifecycle lock.
+func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p *Pending) {
+	nw := len(s.shards)
+	// One engine load per batch, shared by every sub-batch (see
+	// steerTask.l).
+	l := s.engine.Load()
+	for i := range hdrs {
+		// High hash bits pick the worker, low bits stay free for the
+		// private cache's bucket index — see packet.SteerWorker.
+		w := packet.SteerWorker(hdrs[i].Key().Hash(), nw)
+		t := &sc.tasks[w]
+		t.hdrs = append(t.hdrs, hdrs[i])
+		t.idx = append(t.idx, int32(i))
+	}
+	live := int32(0)
+	for w := range sc.tasks {
+		if len(sc.tasks[w].hdrs) > 0 {
+			live++
+		}
+	}
+	if p != nil {
+		sc.pending.Store(live)
+	} else {
+		sc.wg.Add(int(live))
+	}
+	for w := range sc.tasks {
+		t := &sc.tasks[w]
+		n := len(t.hdrs)
+		if n == 0 {
+			continue
+		}
+		if cap(t.res) < n {
+			t.res = make([]int, n)
+		}
+		t.res = t.res[:n]
+		t.out = out
+		t.p = p
+		t.l = l
+		s.shards[w] <- item{t: t}
+		s.depth.Set(s.queued.Add(1))
+	}
+}
+
+// submitSteeredLocked is Submit's steered branch. Completion — closing
+// p.done, counting the batch, releasing the scratch — happens on the last
+// worker to finish its task. Callers hold s.lifecycle shared.
+func (s *Service) submitSteeredLocked(hdrs []packet.Header, out []int, p *Pending) {
+	sc := s.getSteerScratch()
+	s.dispatch(sc, hdrs, out, p)
+}
+
+// ClassifySteered classifies hdrs into out synchronously on the steered
+// path: scatter, wait for every flow-owning worker, return. len(out) must
+// equal len(hdrs). Unlike Classify it allocates no Pending and no
+// channel — the steady state is zero allocations per call, which is what
+// the scaling benchmark and the CI allocation gate measure. Only valid on
+// a steered service.
+func (s *Service) ClassifySteered(hdrs []packet.Header, out []int) error {
+	if !s.cfg.Steer {
+		return fmt.Errorf("serve: ClassifySteered on an unsteered service")
+	}
+	if len(hdrs) == 0 {
+		return nil
+	}
+	if len(out) != len(hdrs) {
+		return fmt.Errorf("serve: output length %d != input length %d", len(out), len(hdrs))
+	}
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	if s.closed {
+		s.closedSubmits.Inc()
+		return ErrClosed
+	}
+	sc := s.getSteerScratch()
+	s.dispatch(sc, hdrs, out, nil)
+	sc.wg.Wait()
+	s.batches.Inc()
+	sc.release()
+	return nil
+}
+
+// classify runs one steered sub-batch through this worker's private cache
+// (misses fall through to the live engine via the pre-bound missFn) or,
+// uncached, straight through the engine. Owner goroutine only.
+//
+//pclass:hotpath
+func (w *worker) classify(l *live, hdrs []packet.Header, res []int) {
+	if w.cache != nil {
+		// missFn closes over w.eng: binding the batch's engine here keeps
+		// the cache call allocation-free (no per-batch closure) while the
+		// miss fallback still targets exactly the build whose generation
+		// tags the probes.
+		w.eng = l.eng
+		w.cache.ClassifyBatchInto(l.gen, hdrs, res, w.missFn)
+		return
+	}
+	core.ClassifyBatchInto(l.eng, hdrs, res)
+}
+
+// runSteered processes one steered task against the (engine, generation)
+// pair the submitter pinned, classifies this worker's sub-batch, scatters
+// the results into the batch output, and completes. Owner goroutine only.
+// Interleaved generations across tasks (a swap landing mid-batch-stream)
+// only cost private-cache churn, never correctness: a probe's generation
+// always names the exact build that classifies its misses.
+//
+//pclass:hotpath
+func (w *worker) runSteered(t *steerTask) {
+	s := w.s
+	l := t.l
+	if f := s.testObserveSteer; f != nil {
+		f(w.id, t.hdrs)
+	}
+	if obs := s.obs; obs != nil {
+		if t.p != nil {
+			obs.SubmitWait.Observe(time.Since(t.p.enq))
+		}
+		// The sampled packet traces through the bare engine, not the
+		// private cache: the trace answers "what did the engine decide and
+		// how", and a cache hit would hide exactly that.
+		if idx, tr := obs.Tracer.SampleBatch(len(t.hdrs)); tr != nil {
+			tr.Hdr = t.hdrs[idx]
+			tr.Result = core.ClassifyTraced(l.eng, t.hdrs[idx], tr)
+			obs.Tracer.Finish(tr)
+		}
+		start := time.Now()
+		w.classify(l, t.hdrs, t.res)
+		obs.ClassifyBatch.Observe(time.Since(start))
+	} else {
+		w.classify(l, t.hdrs, t.res)
+	}
+	for j, i := range t.idx {
+		t.out[i] = t.res[j]
+	}
+	n := int64(len(t.hdrs))
+	w.classified.Add(n)
+	s.classified.Add(n)
+	t.finish()
+}
+
+// finish completes one task. Synchronous batches park on the scratch's
+// WaitGroup; asynchronous ones count down pending, and the last worker
+// closes the Pending and recycles the scratch (the results were already
+// scattered into p.results, so release-before-close is safe).
+//
+//pclass:hotpath
+func (t *steerTask) finish() {
+	sc := t.sc
+	if t.p == nil {
+		sc.wg.Done()
+		return
+	}
+	if sc.pending.Add(-1) == 0 {
+		p := t.p
+		sc.s.batches.Inc()
+		sc.release()
+		close(p.done)
+	}
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pktclass/internal/packet"
+	"pktclass/internal/ruleset"
+	"pktclass/internal/update"
+)
+
+// The steered path must classify exactly like the unsteered engine: the
+// scatter/gather hop, the private caches, and the result re-ordering are
+// all invisible in the output.
+func TestSteeredMatchesUnsteered(t *testing.T) {
+	rs := prefixSet(t, 48, 71)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, CacheEntries: 1 << 12, Steer: true, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	if !svc.Steered() {
+		t.Fatal("Steered() = false on a steered service")
+	}
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 2048, MatchFraction: 0.7, Seed: 72})
+	// Three passes: cold misses, warm hits, and the async Submit path must
+	// all agree with the linear reference.
+	out := make([]int, len(trace))
+	for pass := 0; pass < 2; pass++ {
+		if err := svc.ClassifySteered(trace, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range trace {
+			if want := rs.FirstMatch(h); out[i] != want {
+				t.Fatalf("pass %d packet %d: steered %d, linear %d", pass, i, out[i], want)
+			}
+		}
+	}
+	got, err := svc.Classify(context.Background(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if want := rs.FirstMatch(h); got[i] != want {
+			t.Fatalf("async packet %d: steered %d, linear %d", i, got[i], want)
+		}
+	}
+	if st, ok := svc.CacheStats(); !ok {
+		t.Fatal("CacheStats not ok on a cached steered service")
+	} else if st.Hits == 0 || st.Shards != 4 {
+		t.Fatalf("aggregated steered cache stats: %+v", st)
+	}
+	if ws := svc.WorkerCacheStats(); len(ws) != 4 {
+		t.Fatalf("WorkerCacheStats: %d entries, want 4", len(ws))
+	}
+}
+
+// Flow affinity is the steering contract: across concurrent submitters
+// AND engine hot-swaps, every packet of a flow must be observed by
+// exactly one worker. Run under -race this also proves the scatter path
+// publishes tasks safely.
+func TestRacedSteeredFlowAffinity(t *testing.T) {
+	rs := prefixSet(t, 48, 73)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, CacheEntries: 1 << 10, Steer: true, Incremental: true, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+
+	var (
+		ownerMu  sync.Mutex
+		owner    = map[packet.Key]int{}
+		violated []string
+	)
+	svc.testObserveSteer = func(worker int, hdrs []packet.Header) {
+		ownerMu.Lock()
+		defer ownerMu.Unlock()
+		for _, h := range hdrs {
+			k := h.Key()
+			if w, seen := owner[k]; seen && w != worker {
+				if len(violated) < 4 {
+					violated = append(violated, h.String())
+				}
+				continue
+			}
+			owner[k] = worker
+		}
+	}
+
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 512, MatchFraction: 0.7, Seed: 74})
+	var wg sync.WaitGroup
+	var updaterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 12; n++ {
+			ops, err := update.GenerateOps(svc.RuleSet(), 4, int64(700+n))
+			if err != nil {
+				updaterErr = err
+				return
+			}
+			if err := svc.ApplyOps(ops); err != nil {
+				updaterErr = err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for round := 0; round < 30; round++ {
+				lo := ((off + round) * 48) % (len(trace) - 64)
+				if _, err := svc.Classify(ctx, trace[lo:lo+64]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if updaterErr != nil {
+		t.Fatal(updaterErr)
+	}
+	if len(violated) > 0 {
+		t.Fatalf("flows observed by more than one worker: %v", violated)
+	}
+	spread := 0
+	seen := map[int]bool{}
+	ownerMu.Lock()
+	for _, w := range owner {
+		seen[w] = true
+	}
+	ownerMu.Unlock()
+	spread = len(seen)
+	if spread < 2 {
+		t.Fatalf("steering collapsed onto %d worker(s)", spread)
+	}
+}
+
+// The steered version-window differential proof, the private-cache
+// analogue of TestRacedIncrementalRebuildInterleaving: readers race an
+// updater alternating incremental applies with rebuild reloads, and every
+// batch must match SOME committed version in its in-flight window. A
+// private cache serving a retired generation would surface results from a
+// version BEFORE the window — exactly what this check rejects.
+func TestRacedSteeredVersionWindow(t *testing.T) {
+	const swaps = 20
+	rs := prefixSet(t, 48, 75)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, CacheEntries: 1 << 10, Steer: true, Incremental: true, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+
+	var (
+		verMu    sync.Mutex
+		versions = []*ruleset.RuleSet{rs}
+	)
+	snapshotLen := func() int {
+		verMu.Lock()
+		defer verMu.Unlock()
+		return len(versions)
+	}
+	versionAt := func(i int) *ruleset.RuleSet {
+		verMu.Lock()
+		defer verMu.Unlock()
+		return versions[i]
+	}
+
+	var wg sync.WaitGroup
+	var updaterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < swaps; n++ {
+			if n%2 == 0 {
+				ops, err := update.GenerateOps(svc.RuleSet(), 4, int64(800+n))
+				if err != nil {
+					updaterErr = err
+					return
+				}
+				if err := svc.ApplyOps(ops); err != nil {
+					updaterErr = err
+					return
+				}
+			} else {
+				next := ruleset.Generate(ruleset.GenConfig{N: 48, Profile: ruleset.PrefixOnly, Seed: int64(900 + n), DefaultRule: true})
+				if err := svc.Reload(next); err != nil {
+					updaterErr = err
+					return
+				}
+			}
+			cur := svc.RuleSet()
+			verMu.Lock()
+			versions = append(versions, cur)
+			verMu.Unlock()
+		}
+	}()
+
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 1024, MatchFraction: 0.7, Seed: 76})
+	consistent := func(v *ruleset.RuleSet, hdrs []packet.Header, got []int) bool {
+		for i, h := range hdrs {
+			if got[i] != v.FirstMatch(h) {
+				return false
+			}
+		}
+		return true
+	}
+	readerErrs := make(chan string, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for round := 0; round < 30; round++ {
+				lo := ((off + round) * 32) % (len(trace) - 32)
+				hdrs := trace[lo : lo+32]
+				loIdx := snapshotLen() - 1
+				got, err := svc.Classify(ctx, hdrs)
+				if err != nil {
+					readerErrs <- err.Error()
+					return
+				}
+				ok := false
+				for attempt := 0; attempt < 100 && !ok; attempt++ {
+					hiIdx := snapshotLen()
+					for v := loIdx; v < hiIdx && !ok; v++ {
+						ok = consistent(versionAt(v), hdrs, got)
+					}
+					if !ok {
+						time.Sleep(time.Millisecond)
+					}
+				}
+				if !ok {
+					readerErrs <- "steered batch inconsistent with every committed version in its window (retired-generation cache hit?)"
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if updaterErr != nil {
+		t.Fatal(updaterErr)
+	}
+	select {
+	case msg := <-readerErrs:
+		t.Fatal(msg)
+	default:
+	}
+	if st, ok := svc.CacheStats(); !ok || st.Generation < 2 {
+		t.Fatalf("private caches never advanced generations: %+v ok=%v", st, ok)
+	}
+}
+
+// Deterministic retirement proof: after a semantics-changing reload, every
+// previously cached flow must re-classify under the new ruleset — the old
+// generation's entries are dropped, visibly, as stale.
+func TestSteeredCacheRetiresOnSwap(t *testing.T) {
+	rs := prefixSet(t, 32, 77)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 2, CacheEntries: 1 << 10, Steer: true, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 256, MatchFraction: 0.9, Seed: 78})
+	out := make([]int, len(trace))
+	// Two passes fill the private caches and serve from them.
+	for pass := 0; pass < 2; pass++ {
+		if err := svc.ClassifySteered(trace, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := svc.Generation()
+	next := ruleset.Generate(ruleset.GenConfig{N: 32, Profile: ruleset.PrefixOnly, Seed: 79, DefaultRule: true})
+	if err := svc.Reload(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Generation(); got <= gen {
+		t.Fatalf("generation did not advance across reload: %d -> %d", gen, got)
+	}
+	if err := svc.ClassifySteered(trace, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		if want := next.FirstMatch(h); out[i] != want {
+			t.Fatalf("packet %d served a retired ruleset: got %d want %d", i, out[i], want)
+		}
+	}
+	st, ok := svc.CacheStats()
+	if !ok || st.StaleDrops == 0 {
+		t.Fatalf("no stale drops recorded after a generation bump: %+v", st)
+	}
+}
+
+func TestClassifySteeredErrors(t *testing.T) {
+	rs := prefixSet(t, 16, 81)
+	plain, err := New(rs.Clone(), strideBuild, Config{Workers: 2, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, plain)
+	hdrs := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 8, MatchFraction: 0.5, Seed: 82})
+	if err := plain.ClassifySteered(hdrs, make([]int, 8)); err == nil {
+		t.Fatal("ClassifySteered accepted an unsteered service")
+	}
+
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 2, Steer: true, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ClassifySteered(hdrs, make([]int, 4)); err == nil {
+		t.Fatal("ClassifySteered accepted a mis-sized output")
+	}
+	if err := svc.ClassifySteered(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	mustClose(t, svc)
+	if err := svc.ClassifySteered(hdrs, make([]int, 8)); err != ErrClosed {
+		t.Fatalf("after close: %v, want ErrClosed", err)
+	}
+}
+
+// BenchmarkSteeredSubmit is the CI allocation gate for the steered hot
+// path: one op = one synchronous steered batch (scatter, per-worker
+// private-cache probe, gather). Steady state must not allocate.
+func BenchmarkSteeredSubmit(b *testing.B) {
+	rs := prefixSet(b, 64, 85)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, CacheEntries: 1 << 12, Steer: true, Seed: 85})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mustClose(b, svc)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 512, MatchFraction: 0.9, Seed: 86})
+	out := make([]int, len(trace))
+	for warm := 0; warm < 4; warm++ {
+		if err := svc.ClassifySteered(trace, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.ClassifySteered(trace, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -43,6 +43,10 @@ type ServeConfig struct {
 	// uncached, so DegradationPct directly reads the combined cost or win
 	// of the serving layer plus cache under update churn.
 	CacheEntries int
+	// Steer replays through RSS-style flow steering: per-flow worker
+	// affinity, worker-private caches, blocking backpressure (see
+	// serve.Config.Steer).
+	Steer bool
 	// Churn false replays with no updater at all.
 	Churn bool
 	// Incremental routes the churn swaps through the engines' O(delta)
@@ -119,6 +123,7 @@ func ServeTrace(rs *ruleset.RuleSet, build serve.BuildFunc, trace []packet.Heade
 		QueueDepth:       cfg.QueueDepth,
 		VerifyPackets:    cfg.VerifyPackets,
 		CacheEntries:     cfg.CacheEntries,
+		Steer:            cfg.Steer,
 		Incremental:      cfg.Incremental,
 		SpotCheckPackets: cfg.SpotCheckPackets,
 		Seed:             cfg.Seed,
