@@ -372,7 +372,13 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		if cfg.Steer && cfg.CacheEntries > 0 {
 			// Capacity split evenly: the steering hash spreads flows
 			// uniformly, so per-worker slices see ~1/W of the flow space.
-			w.cache = flowcache.NewPrivate(cfg.CacheEntries / cfg.Workers)
+			// Clamped to ≥1 — a CacheEntries below the worker count must
+			// stay a tiny cache, not trip NewPrivate's per-worker default.
+			per := cfg.CacheEntries / cfg.Workers
+			if per < 1 {
+				per = 1
+			}
+			w.cache = flowcache.NewPrivate(per)
 			if cfg.Obs != nil {
 				w.cache.SetProbeHistogram(cfg.Obs.CacheProbe)
 			}

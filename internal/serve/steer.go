@@ -41,8 +41,10 @@ type steerTask struct {
 
 // steerScratch is the per-batch scatter state, pooled on the Service. One
 // task per worker; wg completes synchronous batches, pending completes
-// asynchronous ones (the last finishing worker closes the Pending and
-// returns the scratch to the pool).
+// asynchronous ones. Both counts include one reference held by dispatch
+// itself for the duration of the send loop, so whoever drops the last
+// reference — a finishing worker or the dispatching submitter — closes the
+// Pending and returns the scratch to the pool.
 type steerScratch struct {
 	s       *Service
 	tasks   []steerTask
@@ -85,7 +87,11 @@ func (sc *steerScratch) release() {
 // affinity, so backpressure here is latency, not ErrQueueFull. The
 // completion count (wg for synchronous, pending for asynchronous) is
 // armed before the first send — a worker may finish its task before the
-// submitter has sent the next one.
+// submitter has sent the next one — and includes one extra reference that
+// dispatch holds until it stops touching sc. Without it, the workers
+// could finish every sent task and recycle the scratch while this loop is
+// still reading trailing sc.tasks entries, and a concurrent Submit could
+// be gathering into the reused scratch under the stale iteration.
 //
 // Callers hold s.lifecycle shared with s.closed false, which pins every
 // shard open; the blocking sends cannot deadlock against Close because
@@ -103,7 +109,7 @@ func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p 
 		t.hdrs = append(t.hdrs, hdrs[i])
 		t.idx = append(t.idx, int32(i))
 	}
-	live := int32(0)
+	live := int32(1) // +1: dispatch's own reference, dropped after the loop
 	for w := range sc.tasks {
 		if len(sc.tasks[w].hdrs) > 0 {
 			live++
@@ -130,6 +136,13 @@ func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p 
 		s.shards[w] <- item{t: t}
 		s.depth.Set(s.queued.Add(1))
 	}
+	// Last touch of sc: drop dispatch's reference. If every worker already
+	// finished, the submitter is the one completing the batch.
+	if p == nil {
+		sc.wg.Done()
+		return
+	}
+	sc.completeAsync(p)
 }
 
 // submitSteeredLocked is Submit's steered branch. Completion — closing
@@ -183,6 +196,9 @@ func (w *worker) classify(l *live, hdrs []packet.Header, res []int) {
 		// tags the probes.
 		w.eng = l.eng
 		w.cache.ClassifyBatchInto(l.gen, hdrs, res, w.missFn)
+		// Unbind the engine so a retired build doesn't stay pinned by an
+		// idle worker until its next cached batch.
+		w.eng = nil
 		return
 	}
 	core.ClassifyBatchInto(l.eng, hdrs, res)
@@ -230,9 +246,9 @@ func (w *worker) runSteered(t *steerTask) {
 }
 
 // finish completes one task. Synchronous batches park on the scratch's
-// WaitGroup; asynchronous ones count down pending, and the last worker
-// closes the Pending and recycles the scratch (the results were already
-// scattered into p.results, so release-before-close is safe).
+// WaitGroup; asynchronous ones drop one pending reference (t.p is
+// captured before the decrement — once it lands, another reference holder
+// may release the scratch and nil the field).
 //
 //pclass:hotpath
 func (t *steerTask) finish() {
@@ -241,8 +257,18 @@ func (t *steerTask) finish() {
 		sc.wg.Done()
 		return
 	}
+	sc.completeAsync(t.p)
+}
+
+// completeAsync drops one reference to an asynchronous steered batch.
+// Whoever drops the last one — a worker finishing its task, or dispatch
+// after its send loop — closes the Pending and recycles the scratch (the
+// results were already scattered into the batch output, so
+// release-before-close is safe).
+//
+//pclass:hotpath
+func (sc *steerScratch) completeAsync(p *Pending) {
 	if sc.pending.Add(-1) == 0 {
-		p := t.p
 		sc.s.batches.Inc()
 		sc.release()
 		close(p.done)

@@ -141,6 +141,85 @@ func TestRacedSteeredFlowAffinity(t *testing.T) {
 	}
 }
 
+// Regression: dispatch must not touch the scatter scratch after the last
+// live task is sent. Single-packet async batches on a wide worker set
+// maximize the window — one live task, then trailing empty-task
+// iterations while the lone worker can already be finishing the batch and
+// recycling the scratch into a concurrent submitter. Pre-fix, -race
+// flags the stale iteration reading tasks another Submit is gathering
+// into (and the scratch could even be double-sent).
+func TestRacedSteeredAsyncScratchReuse(t *testing.T) {
+	rs := prefixSet(t, 48, 91)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 8, CacheEntries: 1 << 10, Steer: true, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 256, MatchFraction: 0.7, Seed: 92})
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 400; i++ {
+				h := trace[(off*53+i)%len(trace) : (off*53+i)%len(trace)+1]
+				got, err := svc.Classify(ctx, h)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := rs.FirstMatch(h[0]); got[0] != want {
+					t.Errorf("packet scattered into the wrong batch: got %d want %d", got[0], want)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// A CacheEntries smaller than the worker count must still mean "tiny
+// cache": integer division would hand NewPrivate a zero, which it treats
+// as "use the 4096-entry default", silently inflating a deliberately
+// small cache by Workers*4096.
+func TestSteeredTinyCacheNotInflated(t *testing.T) {
+	rs := prefixSet(t, 16, 93)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 4, CacheEntries: 2, Steer: true, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	for _, w := range svc.workers {
+		if got := w.cache.Entries(); got >= 1<<12 {
+			t.Fatalf("worker cache ballooned to %d entries from CacheEntries=2", got)
+		}
+	}
+}
+
+// After a cached batch completes, the worker must not keep the batch's
+// engine build reachable: an idle worker would otherwise pin a retired
+// build (and its ruleset-sized structures) until its next batch.
+func TestSteeredWorkerUnbindsEngine(t *testing.T) {
+	rs := prefixSet(t, 16, 95)
+	svc, err := New(rs.Clone(), strideBuild, Config{Workers: 2, CacheEntries: 1 << 8, Steer: true, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, svc)
+	trace := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Count: 64, MatchFraction: 0.5, Seed: 96})
+	if err := svc.ClassifySteered(trace, make([]int, len(trace))); err != nil {
+		t.Fatal(err)
+	}
+	// ClassifySteered's wg.Wait orders these reads after every worker's
+	// batch completion.
+	for i, w := range svc.workers {
+		if w.eng != nil {
+			t.Fatalf("worker %d still pins the batch engine after completion", i)
+		}
+	}
+}
+
 // The steered version-window differential proof, the private-cache
 // analogue of TestRacedIncrementalRebuildInterleaving: readers race an
 // updater alternating incremental applies with rebuild reloads, and every
