@@ -70,6 +70,7 @@ func (v Vector) Clone() Vector {
 // match. This is the allocation-free alternative to Clone for callers that
 // recycle a scratch vector across classifications.
 //
+//pclass:mutates
 //pclass:hotpath
 func (v Vector) CopyFrom(o Vector) {
 	v.checkLen(o)
@@ -77,18 +78,24 @@ func (v Vector) CopyFrom(o Vector) {
 }
 
 // Set sets bit i to 1.
+//
+//pclass:mutates
 func (v Vector) Set(i int) {
 	v.check(i)
 	v.words[i/wordBits] |= 1 << uint(i%wordBits)
 }
 
 // Clear sets bit i to 0.
+//
+//pclass:mutates
 func (v Vector) Clear(i int) {
 	v.check(i)
 	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
 }
 
 // SetTo sets bit i to b.
+//
+//pclass:mutates
 func (v Vector) SetTo(i int, b bool) {
 	if b {
 		v.Set(i)
@@ -110,6 +117,8 @@ func (v Vector) check(i int) {
 }
 
 // SetAll sets every bit in the vector.
+//
+//pclass:mutates
 func (v Vector) SetAll() {
 	for i := range v.words {
 		v.words[i] = ^uint64(0)
@@ -118,6 +127,8 @@ func (v Vector) SetAll() {
 }
 
 // ClearAll zeroes every bit.
+//
+//pclass:mutates
 func (v Vector) ClearAll() {
 	for i := range v.words {
 		v.words[i] = 0
@@ -155,6 +166,7 @@ func (v Vector) AndInto(o, dst Vector) {
 
 // AndWith computes v &= o in place.
 //
+//pclass:mutates
 //pclass:hotpath
 func (v Vector) AndWith(o Vector) {
 	v.checkLen(o)
@@ -174,6 +186,8 @@ func (v Vector) Or(o Vector) Vector {
 }
 
 // OrWith computes v |= o in place.
+//
+//pclass:mutates
 func (v Vector) OrWith(o Vector) {
 	v.checkLen(o)
 	for i := range v.words {

@@ -358,7 +358,9 @@ func (c *Cache) Insert(key packet.Key, gen uint64, result int32) {
 
 // batchScratch is one batch's reusable workspace: keys and hashes for the
 // whole batch, the counting-sort permutation grouping packets by shard,
-// and the compacted miss set.
+// and the compacted miss set. Recycled through the cache's pool.
+//
+//pclass:pooled
 type batchScratch struct {
 	keys   []packet.Key
 	hashes []uint64
@@ -372,6 +374,9 @@ type batchScratch struct {
 	missOut  []int
 }
 
+// getScratch fetches (or builds) the batch workspace sized for n packets.
+//
+//pclass:pooled
 func (c *Cache) getScratch(n int) *batchScratch {
 	sc, _ := c.scratch.Get().(*batchScratch)
 	if sc == nil {

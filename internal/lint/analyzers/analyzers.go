@@ -11,5 +11,8 @@ func All() []*analysis.Analyzer {
 		LockSafe,
 		PanicStyle,
 		ExhaustEngine,
+		PoolLifetime,
+		AtomicPin,
+		CowWrite,
 	}
 }

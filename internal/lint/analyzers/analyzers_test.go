@@ -29,10 +29,24 @@ func TestExhaustEngine(t *testing.T) {
 	linttest.Run(t, analyzers.ExhaustEngine, "exhaust/def", "exhaust/use")
 }
 
+func TestPoolLifetime(t *testing.T) {
+	// def loads first so use's DepFacts sees the pooled/releases
+	// annotations; def also carries the in-package sync.Pool cases.
+	linttest.Run(t, analyzers.PoolLifetime, "pool/def", "pool/use")
+}
+
+func TestAtomicPin(t *testing.T) {
+	linttest.Run(t, analyzers.AtomicPin, "pin")
+}
+
+func TestCowWrite(t *testing.T) {
+	linttest.Run(t, analyzers.CowWrite, "cow/def", "cow/use")
+}
+
 func TestAllRegistered(t *testing.T) {
 	all := analyzers.All()
-	if len(all) != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All() = %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

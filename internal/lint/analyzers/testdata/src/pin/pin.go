@@ -1,0 +1,95 @@
+// Package pin reproduces the PR-8 version-window bug for the atomicpin
+// analyzer: batches must pin the hot-swap engine pointer with exactly
+// one Load.
+package pin
+
+import "sync/atomic"
+
+type engine struct{ gen uint64 }
+
+type server struct {
+	// engine is the hot-swap pointer every batch pins exactly once.
+	//
+	//pclass:pinned
+	engine atomic.Pointer[engine]
+	out    []uint64
+}
+
+type packet struct{ n int }
+
+// dispatchFixed is the shipped fix: one Load pins one engine version for
+// the whole batch.
+//
+//pclass:pinned
+func (s *server) dispatchFixed(batch []packet) {
+	eng := s.engine.Load()
+	for i := range batch {
+		s.out[i] = eng.gen
+	}
+}
+
+// dispatchBuggy is the pre-fix PR-8 shape verbatim: each packet re-loads
+// the pointer, so a batch racing a hot swap spans two ruleset versions.
+//
+//pclass:pinned
+func (s *server) dispatchBuggy(batch []packet) {
+	for i := range batch {
+		eng := s.engine.Load() // want `pinned field server.engine is Load\(\)ed again on a path that already pinned it`
+		s.out[i] = eng.gen
+	}
+}
+
+// reload: a straight-line second Load re-opens the window too.
+//
+//pclass:pinned
+func (s *server) reload() {
+	a := s.engine.Load()
+	_ = a
+	b := s.engine.Load() // want `pinned field server.engine is Load\(\)ed again`
+	_ = b
+}
+
+// branchy: both branches pin; the join knows the window is already open.
+//
+//pclass:pinned
+func (s *server) branchy(cold bool) {
+	var eng *engine
+	if cold {
+		eng = s.engine.Load()
+	} else {
+		eng = s.engine.Load()
+	}
+	_ = eng
+	again := s.engine.Load() // want `pinned field server.engine is Load\(\)ed again`
+	_ = again
+}
+
+// storeInReader: anything but Load on the pinned field inside a pinned
+// function belongs to the swap path, not the read path.
+//
+//pclass:pinned
+func (s *server) storeInReader(e *engine) {
+	s.engine.Store(e) // want `field server.engine may only be Load\(\)ed in a //pclass:pinned function`
+}
+
+// swapPath is not annotated //pclass:pinned: the hot-swap side loads and
+// stores freely.
+func (s *server) swapPath(e *engine) {
+	s.engine.Store(e)
+	_ = s.engine.Load()
+	_ = s.engine.Load()
+}
+
+// drain is the audited escape shape from internal/serve's worker loop:
+// one load per drained batch, because the loop body IS the batch scope.
+//
+//pclass:pinned
+func (s *server) drain(batches [][]packet) {
+	for _, batch := range batches {
+		//pclass:allow-pin one load per drained batch; the loop body is the batch scope
+		eng := s.engine.Load()
+		for i := range batch {
+			s.out[i] = eng.gen
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package def declares the pooled-scratch side of the poollifetime
+// fixtures — the //pclass:pooled type and getter and the
+// //pclass:releases calls — mirroring internal/serve's steered scratch.
+package def
+
+import "sync"
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Scratch is the per-batch steered scratch; every value is pool-managed.
+//
+//pclass:pooled
+type Scratch struct {
+	Tasks []Task
+	Refs  int
+}
+
+// Task is one steered unit of work.
+type Task struct {
+	N    int
+	Live bool
+}
+
+// GetScratch hands out a pooled scratch.
+//
+//pclass:pooled
+func GetScratch() *Scratch {
+	return scratchPool.Get().(*Scratch)
+}
+
+// Release returns sc to the pool immediately.
+//
+//pclass:releases
+func (sc *Scratch) Release() {
+	scratchPool.Put(sc)
+}
+
+// CompleteAsync drops the caller's reference; the last holder to finish
+// recycles the scratch.
+//
+//pclass:releases
+func (sc *Scratch) CompleteAsync() {
+	sc.Refs--
+	if sc.Refs == 0 {
+		sc.Release()
+	}
+}
+
+// Finish drains and releases a worker-held scratch.
+//
+//pclass:releases
+func Finish(sc *Scratch) {
+	sc.Refs--
+}
+
+// rawPool uses sync.Pool directly: Get and Put are pooled-source and
+// release calls even without annotations.
+func rawPool() {
+	sc := scratchPool.Get().(*Scratch)
+	scratchPool.Put(sc)
+	sc.Refs = 0 // want `pooled sc is used after Put may have returned it to the pool`
+}
+
+// doubleRelease releases twice: the second release is itself a use of a
+// released handle.
+func doubleRelease() {
+	sc := GetScratch()
+	sc.Release()
+	sc.Release() // want `pooled sc is used after Release may have returned it to the pool`
+}

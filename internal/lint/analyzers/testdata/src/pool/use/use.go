@@ -1,0 +1,72 @@
+// Package use reproduces the PR-8 steered-dispatch lifetime bug against
+// pool/def's cross-package facts.
+package use
+
+import "pool/def"
+
+// dispatchBuggy is the pre-fix PR-8 shape verbatim: the dispatcher drops
+// its reference before the send loop, then keeps indexing sc.Tasks while
+// a finishing worker may already have recycled the scratch (observed as
+// a double-close of the batch's completion channel).
+func dispatchBuggy(ch chan def.Task) {
+	sc := def.GetScratch()
+	sc.CompleteAsync()
+	for i := range sc.Tasks { // want `pooled sc is used after CompleteAsync`
+		ch <- sc.Tasks[i] // want `pooled sc is used after CompleteAsync`
+	}
+}
+
+// dispatchFixed is the shipped fix: every read of sc happens before the
+// dispatcher's reference is dropped.
+func dispatchFixed(ch chan def.Task) {
+	sc := def.GetScratch()
+	for i := range sc.Tasks {
+		ch <- sc.Tasks[i]
+	}
+	sc.CompleteAsync()
+}
+
+// finishParam: parameters of a pooled type are tracked like locals.
+func finishParam(sc *def.Scratch) {
+	def.Finish(sc)
+	_ = sc.Tasks // want `pooled sc is used after Finish`
+}
+
+// deferredRelease is the idiomatic clean shape: a deferred release runs
+// at function exit and poisons nothing.
+func deferredRelease() int {
+	sc := def.GetScratch()
+	defer sc.Release()
+	return len(sc.Tasks)
+}
+
+// reacquire: reassigning from a fresh source ends the released state.
+func reacquire() {
+	sc := def.GetScratch()
+	sc.Release()
+	sc = def.GetScratch()
+	sc.Refs++
+	sc.Release()
+}
+
+// loopRelease: the release on the Live path reaches both lines below it
+// through the loop back edge — including the releasing call itself,
+// which is a double release on that path.
+func loopRelease(tasks []def.Task, ch chan def.Task) {
+	sc := def.GetScratch()
+	for i := range tasks {
+		if tasks[i].Live {
+			sc.CompleteAsync() // want `pooled sc is used after CompleteAsync`
+			continue
+		}
+		ch <- sc.Tasks[i] // want `pooled sc is used after CompleteAsync`
+	}
+}
+
+// audited: the allow escape silences an audited finding.
+func audited() {
+	sc := def.GetScratch()
+	sc.CompleteAsync()
+	//pclass:allow-pooled the batch holds a reference for the duration of this read in the real code
+	_ = sc.Refs
+}

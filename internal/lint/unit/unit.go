@@ -7,10 +7,14 @@
 //   - pclasslint -V=full        → print a version line hashing the binary,
 //     used as the tool's build-cache identity
 //   - pclasslint -flags         → print the tool's analyzer flags as JSON
+//     (the go command forwards only flags named here, which is how
+//     "go vet -vettool=… -json" reaches the tool)
 //   - pclasslint <unit>.cfg     → analyze one compilation unit described
 //     by the JSON config: parse its Go files, typecheck against the
 //     export data of its dependencies, run the analyzers, exchange facts
 //     through .vetx files, and print findings to stderr (non-zero exit)
+//     or — under -json — as a machine-readable tree on stdout (exit 0;
+//     the diagnostics are the output, not an error)
 //
 // Units outside the module under lint (the standard library and any
 // other dependency go vet walks for facts) are skipped with empty facts:
@@ -68,6 +72,7 @@ func Main(modulePath string, analyzers []*analysis.Analyzer) {
 	log.SetPrefix("pclasslint: ")
 	flag.Var(versionFlag{}, "V", "print version and exit")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON and exit")
+	jsonMode := flag.Bool("json", false, "emit diagnostics as JSON on stdout, keyed by package then analyzer")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=$(which pclasslint) [package]")
 		fmt.Fprintln(os.Stderr, "analyzers:")
@@ -79,24 +84,90 @@ func Main(modulePath string, analyzers []*analysis.Analyzer) {
 	}
 	flag.Parse()
 	if *printFlags {
-		// No analyzer flags: the empty JSON list tells go vet so.
-		fmt.Println("[]")
+		// The go command forwards a "go vet" flag to the tool only if this
+		// list names it; -json is the one tool flag pclasslint accepts.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		data, err := json.MarshalIndent([]jsonFlag{
+			{Name: "json", Bool: true, Usage: "emit diagnostics as JSON on stdout, keyed by package then analyzer"},
+		}, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
 		return
 	}
 	args := flag.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	diags, fset, err := run(args[0], modulePath, analyzers)
+	res, err := run(args[0], modulePath, analyzers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(diags) > 0 {
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	if *jsonMode {
+		fmt.Println(string(res.JSON()))
+		return // diagnostics are the output, not an error: exit 0
+	}
+	if len(res.findings) > 0 {
+		for _, f := range res.findings {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", res.fset.Position(f.diag.Pos), f.diag.Message)
 		}
 		os.Exit(2)
 	}
+}
+
+// finding is one diagnostic tagged with the analyzer that produced it
+// (plain output drops the tag; -json keys on it).
+type finding struct {
+	analyzer string
+	diag     analysis.Diagnostic
+}
+
+// unitResult is everything Main needs to render one unit's findings in
+// either output mode.
+type unitResult struct {
+	importPath string
+	fset       *token.FileSet
+	findings   []finding
+}
+
+// jsonDiagnostic is the wire form of one finding under -json, matching
+// the x/tools unitchecker schema (posn is "file:line:col") so existing
+// consumers — editors, the CI problem matcher's JSON cousin — can parse
+// pclasslint output without a special case.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// JSON renders the unit's findings as the unitchecker JSON tree:
+//
+//	{"import/path": {"analyzer": [{"posn": "file:line:col", "message": …}]}}
+//
+// A clean unit renders as {} — still valid JSON, so stream consumers
+// need no empty-output special case.
+func (r *unitResult) JSON() []byte {
+	tree := make(map[string]map[string][]jsonDiagnostic)
+	for _, f := range r.findings {
+		byAnalyzer := tree[r.importPath]
+		if byAnalyzer == nil {
+			byAnalyzer = make(map[string][]jsonDiagnostic)
+			tree[r.importPath] = byAnalyzer
+		}
+		byAnalyzer[f.analyzer] = append(byAnalyzer[f.analyzer], jsonDiagnostic{
+			Posn:    r.fset.Position(f.diag.Pos).String(),
+			Message: f.diag.Message,
+		})
+	}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err) // diagnostics are plain strings; cannot fail
+	}
+	return data
 }
 
 // versionFlag handles -V=full exactly like x/tools' unitchecker: the go
@@ -130,23 +201,25 @@ func (versionFlag) Set(s string) error {
 }
 
 // run analyzes one compilation unit and returns its findings.
-func run(cfgFile, modulePath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+func run(cfgFile, modulePath string, analyzers []*analysis.Analyzer) (*unitResult, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	cfg := new(config)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		return nil, nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
+	res := &unitResult{importPath: cfg.ImportPath}
 
 	if !inModule(cfg.ImportPath, modulePath) {
 		// Out-of-module dependency: no conventions to check, no facts to
 		// export. Write the (empty) facts file the go command expects.
-		return nil, nil, writeVetx(cfg, &facts.Package{})
+		return res, writeVetx(cfg, &facts.Package{})
 	}
 
 	fset := token.NewFileSet()
+	res.fset = fset
 	var files []*ast.File
 	var parseErr error
 	for _, name := range cfg.GoFiles {
@@ -162,27 +235,26 @@ func run(cfgFile, modulePath string, analyzers []*analysis.Analyzer) ([]analysis
 	pkg, info, typeErr := typecheck(fset, cfg, files)
 	if parseErr != nil || typeErr != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil, writeVetx(cfg, &facts.Package{})
+			return res, writeVetx(cfg, &facts.Package{})
 		}
 		if parseErr != nil {
-			return nil, nil, parseErr
+			return nil, parseErr
 		}
-		return nil, nil, typeErr
+		return nil, typeErr
 	}
 
 	own := facts.Scan(files, pkg, info)
 	if err := writeVetx(cfg, own); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if cfg.VetxOnly {
 		// Facts-gathering pass for a dependency: findings are reported
 		// when the unit is analyzed as a root.
-		return nil, nil, nil
+		return res, nil
 	}
 
 	deps := newDepFacts(cfg)
 	sup := analysis.BuildSuppressions(fset, files)
-	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		a := a
 		pass := &analysis.Pass{
@@ -195,16 +267,16 @@ func run(cfgFile, modulePath string, analyzers []*analysis.Analyzer) ([]analysis
 			DepFacts:  deps.get,
 			Report: func(d analysis.Diagnostic) {
 				if !sup.Suppressed(fset.Position(d.Pos), a.SuppressKey) {
-					diags = append(diags, d)
+					res.findings = append(res.findings, finding{analyzer: a.Name, diag: d})
 				}
 			},
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, fset, nil
+	sort.Slice(res.findings, func(i, j int) bool { return res.findings[i].diag.Pos < res.findings[j].diag.Pos })
+	return res, nil
 }
 
 // inModule reports whether a unit import path (possibly a test variant

@@ -239,6 +239,8 @@ type Service struct {
 	// engine is the live classifier (with its cache generation). Workers
 	// Load it once per batch; updaters Store a fully built and verified
 	// replacement.
+	//
+	//pclass:pinned
 	engine atomic.Pointer[live]
 
 	// gens allocates one never-reused cache generation per engine build on
@@ -416,6 +418,7 @@ type worker struct {
 // run drains one shard queue. Legacy items carry a whole batch; steered
 // items carry this worker's share of a batch.
 //
+//pclass:pinned
 //pclass:hotpath
 func (w *worker) run(shard chan item) {
 	s := w.s
@@ -433,6 +436,7 @@ func (w *worker) run(shard chan item) {
 		// One engine load per batch keeps the batch on a single engine
 		// version; the native batch path classifies the whole batch with
 		// no per-packet dispatch or allocation.
+		//pclass:allow-pin one load per drained legacy batch; the loop body is the batch scope
 		eng := s.engine.Load().eng
 		if obs := s.obs; obs != nil {
 			obs.SubmitWait.Observe(time.Since(p.enq))
@@ -514,10 +518,14 @@ func (s *Service) Classify(ctx context.Context, hdrs []packet.Header) ([]int, er
 }
 
 // Engine returns the engine currently serving traffic.
+//
+//pclass:pinned
 func (s *Service) Engine() core.Engine { return s.engine.Load().eng }
 
 // Generation returns the cache generation of the live build (0 on the
 // legacy path, where the Cached wrapper owns the generation).
+//
+//pclass:pinned
 func (s *Service) Generation() uint64 { return s.engine.Load().gen }
 
 // Steered reports whether the service runs the RSS-style steered path.

@@ -23,7 +23,12 @@ import (
 // buffer the worker fills before scattering back into the batch output.
 // A task is written by the submitter, sent by value-pointer through the
 // worker's shard channel, mutated only by that worker, and reset when the
-// batch completes — there is no concurrent access to any field.
+// batch completes — there is no concurrent access to any field. Tasks
+// live inside the pooled scratch, so a task's lifetime ends with its
+// batch: after finish drops the worker's reference the scratch — tasks
+// included — may already be gathering the next batch.
+//
+//pclass:pooled
 type steerTask struct {
 	sc   *steerScratch
 	hdrs []packet.Header // this worker's packets, in batch order
@@ -45,6 +50,8 @@ type steerTask struct {
 // itself for the duration of the send loop, so whoever drops the last
 // reference — a finishing worker or the dispatching submitter — closes the
 // Pending and returns the scratch to the pool.
+//
+//pclass:pooled
 type steerScratch struct {
 	s       *Service
 	tasks   []steerTask
@@ -55,10 +62,14 @@ type steerScratch struct {
 // getSteerScratch fetches (or builds) scatter scratch sized to the worker
 // count. The pool bounds steady-state allocation: after warm-up every
 // steered batch reuses a previously grown scratch.
+//
+//pclass:pooled
+//pclass:hotpath
 func (s *Service) getSteerScratch() *steerScratch {
 	if sc, ok := s.steerPool.Get().(*steerScratch); ok {
 		return sc
 	}
+	//pclass:allow-alloc cold pool miss; the steady state always hits the pool (gated by BenchmarkSteeredScaling's 0 allocs/op)
 	sc := &steerScratch{s: s, tasks: make([]steerTask, len(s.shards))}
 	for i := range sc.tasks {
 		sc.tasks[i].sc = sc
@@ -69,6 +80,9 @@ func (s *Service) getSteerScratch() *steerScratch {
 // release resets the tasks (dropping every reference into the caller's
 // batch, so the pool never retains foreign slices) and returns the
 // scratch to the pool. Capacity — hdrs/idx/res backing arrays — is kept.
+//
+//pclass:releases
+//pclass:hotpath
 func (sc *steerScratch) release() {
 	for i := range sc.tasks {
 		t := &sc.tasks[i]
@@ -96,6 +110,9 @@ func (sc *steerScratch) release() {
 // Callers hold s.lifecycle shared with s.closed false, which pins every
 // shard open; the blocking sends cannot deadlock against Close because
 // workers drain their shards without touching the lifecycle lock.
+//
+//pclass:pinned
+//pclass:hotpath
 func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p *Pending) {
 	nw := len(s.shards)
 	// One engine load per batch, shared by every sub-batch (see
@@ -106,7 +123,9 @@ func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p 
 		// private cache's bucket index — see packet.SteerWorker.
 		w := packet.SteerWorker(hdrs[i].Key().Hash(), nw)
 		t := &sc.tasks[w]
+		//pclass:allow-alloc appends into scratch capacity retained across batches; amortized to 0 allocs/op
 		t.hdrs = append(t.hdrs, hdrs[i])
+		//pclass:allow-alloc appends into scratch capacity retained across batches; amortized to 0 allocs/op
 		t.idx = append(t.idx, int32(i))
 	}
 	live := int32(1) // +1: dispatch's own reference, dropped after the loop
@@ -127,6 +146,7 @@ func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p 
 			continue
 		}
 		if cap(t.res) < n {
+			//pclass:allow-alloc one-time grow per (scratch, worker) pair; reused forever after
 			t.res = make([]int, n)
 		}
 		t.res = t.res[:n]
@@ -159,14 +179,18 @@ func (s *Service) submitSteeredLocked(hdrs []packet.Header, out []int, p *Pendin
 // channel — the steady state is zero allocations per call, which is what
 // the scaling benchmark and the CI allocation gate measure. Only valid on
 // a steered service.
+//
+//pclass:hotpath
 func (s *Service) ClassifySteered(hdrs []packet.Header, out []int) error {
 	if !s.cfg.Steer {
+		//pclass:allow-alloc misuse path, taken once per misconfigured caller, never per batch
 		return fmt.Errorf("serve: ClassifySteered on an unsteered service")
 	}
 	if len(hdrs) == 0 {
 		return nil
 	}
 	if len(out) != len(hdrs) {
+		//pclass:allow-alloc misuse path, taken once per misconfigured caller, never per batch
 		return fmt.Errorf("serve: output length %d != input length %d", len(out), len(hdrs))
 	}
 	s.lifecycle.RLock()
@@ -250,6 +274,7 @@ func (w *worker) runSteered(t *steerTask) {
 // captured before the decrement — once it lands, another reference holder
 // may release the scratch and nil the field).
 //
+//pclass:releases
 //pclass:hotpath
 func (t *steerTask) finish() {
 	sc := t.sc
@@ -266,6 +291,7 @@ func (t *steerTask) finish() {
 // results were already scattered into the batch output, so
 // release-before-close is safe).
 //
+//pclass:releases
 //pclass:hotpath
 func (sc *steerScratch) completeAsync(p *Pending) {
 	if sc.pending.Add(-1) == 0 {

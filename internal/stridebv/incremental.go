@@ -64,8 +64,10 @@ func (e *Engine) ApplyDeltas(rules []int, entries []ruleset.Ternary) (*Engine, e
 	// vectors needs replacing, and clones a vector the first time its bits
 	// actually change.
 	n.mem = make([][]bitvec.Vector, n.stages)
+	//pclass:allow-cow copying table headers into the child's just-made outer table; the shared inner vectors stay read-only until setBit detaches them
 	copy(n.mem, e.mem)
 	n.sum = make([][]bitvec.Vector, n.stages)
+	//pclass:allow-cow copying table headers into the child's just-made outer table; the shared inner vectors stay read-only until setBit detaches them
 	copy(n.sum, e.sum)
 	n.sharedTab = make([]bool, n.stages)
 	n.sharedVec = make([][]bool, n.stages)

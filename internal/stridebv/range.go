@@ -34,6 +34,9 @@ type RangeEngine struct {
 	scratch sync.Pool
 }
 
+// getScratch returns a recycled (or fresh) lookup workspace.
+//
+//pclass:pooled
 func (e *RangeEngine) getScratch() *scratchState {
 	if sc, ok := e.scratch.Get().(*scratchState); ok {
 		return sc

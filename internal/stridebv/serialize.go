@@ -105,6 +105,7 @@ func ReadImage(r io.Reader) (*Engine, error) {
 	e.mem = make([][]bitvec.Vector, stages)
 	word := make([]byte, 8)
 	for s := 0; s < stages; s++ {
+		//pclass:allow-cow decoding into a just-made table; e is unpublished, nothing aliases it yet
 		e.mem[s] = make([]bitvec.Vector, 1<<uint(k))
 		for c := range e.mem[s] {
 			v := bitvec.New(ne)
@@ -115,6 +116,7 @@ func ReadImage(r io.Reader) (*Engine, error) {
 				}
 				words[wi] = binary.LittleEndian.Uint64(word)
 			}
+			//pclass:allow-cow decoding into a just-made table; e is unpublished, nothing aliases it yet
 			e.mem[s][c] = v
 		}
 	}

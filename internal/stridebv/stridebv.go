@@ -34,14 +34,21 @@ type Engine struct {
 	k      int
 	stages int
 	ne     int
-	// mem[s][c] is the Ne-bit vector for stride value c at stage s.
+	// mem[s][c] is the Ne-bit vector for stride value c at stage s. A
+	// delta-derived engine (ApplyDeltas) shares vectors and inner tables
+	// with its parent until setBit detaches them.
+	//
+	//pclass:cow
 	mem [][]bitvec.Vector
 	// sum[s][c] is the word-level summary of mem[s][c]: bit w is set iff
 	// 64-bit word w of the stage vector is nonzero. ANDing the summaries
 	// along a header's path yields the candidate words the full AND can
 	// possibly survive in, so classification skips all-zero words and its
 	// cost tracks the population near the match, not Ne. sumBits is the
-	// summary width (the stage vectors' word count).
+	// summary width (the stage vectors' word count). Aliased with a delta
+	// parent exactly like mem.
+	//
+	//pclass:cow
 	sum     [][]bitvec.Vector
 	sumBits int
 	// ownsEntries is set once the engine has copied ex away from the
@@ -64,7 +71,10 @@ type Engine struct {
 	scratch *sync.Pool
 }
 
-// scratchState is one goroutine's reusable lookup workspace.
+// scratchState is one goroutine's reusable lookup workspace, recycled
+// through the engine's pool.
+//
+//pclass:pooled
 type scratchState struct {
 	acc   bitvec.Vector
 	sum   bitvec.Vector
@@ -96,8 +106,10 @@ func New(ex *ruleset.Expanded, k int) (*Engine, error) {
 	}
 	e.mem = make([][]bitvec.Vector, e.stages)
 	for s := range e.mem {
+		//pclass:allow-cow populating a just-made table; e is unpublished, nothing aliases it yet
 		e.mem[s] = make([]bitvec.Vector, 1<<uint(k))
 		for c := range e.mem[s] {
+			//pclass:allow-cow populating a just-made table; e is unpublished, nothing aliases it yet
 			e.mem[s][c] = bitvec.New(e.ne)
 		}
 	}
@@ -110,6 +122,8 @@ func New(ex *ruleset.Expanded, k int) (*Engine, error) {
 
 // getScratch returns a recycled (or, on first use per goroutine, fresh)
 // lookup workspace sized for this engine.
+//
+//pclass:pooled
 func (e *Engine) getScratch() *scratchState {
 	if sc, ok := e.scratch.Get().(*scratchState); ok {
 		return sc
@@ -121,6 +135,10 @@ func (e *Engine) getScratch() *scratchState {
 	}
 }
 
+// putScratch recycles a lookup workspace; the caller must not touch sc
+// again.
+//
+//pclass:releases
 func (e *Engine) putScratch(sc *scratchState) { e.scratch.Put(sc) }
 
 // NewFSBV builds the k=1 Field-Split Bit Vector engine.
@@ -133,12 +151,14 @@ func (e *Engine) initSummaries() {
 	e.sumBits = (e.ne + 63) / 64
 	e.sum = make([][]bitvec.Vector, e.stages)
 	for s := range e.sum {
+		//pclass:allow-cow rebuilding the summary into a just-made table no snapshot can hold
 		e.sum[s] = make([]bitvec.Vector, len(e.mem[s]))
 		for c := range e.sum[s] {
 			sv := bitvec.New(e.sumBits)
 			for w, word := range e.mem[s][c].Words() {
 				sv.SetTo(w, word != 0)
 			}
+			//pclass:allow-cow rebuilding the summary into a just-made table no snapshot can hold
 			e.sum[s][c] = sv
 		}
 	}
@@ -155,7 +175,11 @@ func (e *Engine) RefreshSummaries() { e.initSummaries() }
 // setBit is the single mutation point for stage memory: it un-aliases any
 // storage still shared with a delta parent (vector clone, plus a shallow
 // inner-table clone the first time a stage is touched) before writing, and
-// keeps the word-level summary consistent with the written word.
+// keeps the word-level summary consistent with the written word. This is
+// the function the PR-7 aliased-write fix funnelled every write through —
+// cowwrite enforces that nothing grows a second write path.
+//
+//pclass:cow-mutator
 func (e *Engine) setBit(s, c, j int, want bool) {
 	v := e.mem[s][c]
 	if v.Get(j) == want {
