@@ -12,6 +12,7 @@ import (
 	"pktclass/internal/core"
 	"pktclass/internal/obsv"
 	"pktclass/internal/packet"
+	"pktclass/internal/partition"
 	"pktclass/internal/serve"
 	"pktclass/internal/stridebv"
 	"pktclass/internal/tcam"
@@ -32,18 +33,50 @@ func newObs(sample int) *obsv.Obs {
 // is the bound listener's.
 func startObsServer(addr string, obs *obsv.Obs, svc *serve.Service) (*obsv.Server, string, error) {
 	srv := obsv.NewServer(obs.Reg, obs.Tracer)
+	srv.SetJournal(obs.Journal)
+	srv.AddStatus("journal", func() any { return obs.Journal.Stats() })
 	for i := 0; i < svc.Workers(); i++ {
 		shard := i
 		srv.AddGaugeFunc(fmt.Sprintf("serve.shard_depth{shard=%q}", fmt.Sprint(shard)), func() float64 {
 			return float64(svc.ShardDepths()[shard])
 		})
 	}
+	// The partition pool instruments are registered unconditionally: a
+	// non-partitioned engine scrapes them as flat zeros, a partitioned one
+	// sees the live pool size and inline-fallback pressure that were
+	// previously only printed at end of run.
+	srv.AddGaugeFunc("partition.pool_size", func() float64 {
+		return float64(partition.PoolSize())
+	})
+	srv.AddGaugeFunc("partition.inline_fallbacks", func() float64 {
+		return float64(partition.InlineFallbacks())
+	})
 	if svc.Steered() {
+		// Each scrape samples the load window, so the imbalance series at
+		// /metrics advances at scrape cadence and the rebalance-candidate
+		// check runs as a free side effect.
+		srv.AddGaugeFunc("serve.imbalance_index", func() float64 {
+			return svc.ImbalanceIndex()
+		})
+		srv.AddStatus("worker_loads", func() any { return svc.WorkerLoads() })
 		for i := 0; i < svc.Workers(); i++ {
 			w := i
 			srv.AddGaugeFunc(fmt.Sprintf("serve.worker_classified{worker=%q}", fmt.Sprint(w)), func() float64 {
 				return float64(svc.WorkerClassified()[w])
 			})
+			srv.AddGaugeFunc(fmt.Sprintf("serve.worker_batches{worker=%q}", fmt.Sprint(w)), func() float64 {
+				return float64(svc.WorkerLoads()[w].Batches)
+			})
+		}
+		if det := svc.FlowStats(); det != nil {
+			srv.SetTopFlows(det.Report)
+			srv.AddGaugeFunc("flowstats.packets", func() float64 {
+				return float64(det.Packets())
+			})
+			srv.AddGaugeFunc("flowstats.topk_share", func() float64 {
+				return det.TopKShare()
+			})
+			srv.AddStatus("top_flows", func() any { return det.Report(8) })
 		}
 		if stats := svc.WorkerCacheStats(); stats != nil {
 			for i := range stats {
@@ -121,6 +154,7 @@ func printObsSummary(obs *obsv.Obs) {
 	snap := obs.Reg.Snapshot()
 	order := []string{
 		obsv.HistSubmitWait,
+		obsv.HistSteerScatter,
 		obsv.HistClassifyBatch,
 		obsv.HistCacheProbe,
 		obsv.HistSwapBuild,

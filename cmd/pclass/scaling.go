@@ -35,6 +35,13 @@ type scalingResult struct {
 	Mpps         float64 `json:"mpps"`
 	Speedup      float64 `json:"speedup"`
 	Efficiency   float64 `json:"efficiency"`
+	// Imbalance is the steering imbalance index over the measured window
+	// (max/mean per-worker load; 1.0 = perfectly balanced, Workers = one
+	// worker took everything) — the skew side of the scaling story that
+	// efficiency alone hides: a Zipf point can scale poorly either because
+	// the path stops scaling or because steering parked the elephants on
+	// one worker, and this column tells the two apart.
+	Imbalance float64 `json:"imbalance,omitempty"`
 }
 
 // scalingConfig carries the sweep knobs shared with the classification
@@ -106,6 +113,10 @@ func scalingPoint(name string, rules, workers int, cfg scalingConfig) (scalingRe
 		}
 	}
 	warm, _ := svc.CacheStats()
+	// Baseline load sample: the measured window's imbalance index is the
+	// delta between this sample and the end-of-window one, so warm-up
+	// traffic never pollutes it.
+	svc.ImbalanceIndex()
 
 	var classified atomic.Int64
 	stop := make(chan struct{})
@@ -132,6 +143,7 @@ func scalingPoint(name string, rules, workers int, cfg scalingConfig) (scalingRe
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
+	imbalance := svc.ImbalanceIndex()
 
 	r := scalingResult{
 		Engine:       name,
@@ -142,6 +154,7 @@ func scalingPoint(name string, rules, workers int, cfg scalingConfig) (scalingRe
 		PktsPerSec:   float64(classified.Load()) / elapsed.Seconds(),
 	}
 	r.Mpps = r.PktsPerSec / 1e6
+	r.Imbalance = imbalance
 	if cfg.zipfS >= 0 || cfg.cache > 0 {
 		r.Skew = cfg.skew
 	}
@@ -186,8 +199,8 @@ func printScalingRow(r scalingResult) {
 	if r.CacheEntries > 0 {
 		label = "cached-" + label
 	}
-	fmt.Printf("%-20s N=%-5d workers=%-3d %9.3f Mpps  speedup %5.2fx  efficiency %5.2f",
-		label, r.Rules, r.Workers, r.Mpps, r.Speedup, r.Efficiency)
+	fmt.Printf("%-20s N=%-5d workers=%-3d %9.3f Mpps  speedup %5.2fx  efficiency %5.2f  imbalance %4.2f",
+		label, r.Rules, r.Workers, r.Mpps, r.Speedup, r.Efficiency, r.Imbalance)
 	if r.CacheEntries > 0 {
 		fmt.Printf("  %5.1f%% hits", 100*r.HitRate)
 	}

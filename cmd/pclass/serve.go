@@ -52,8 +52,9 @@ func runServe(args []string) {
 		measure     = fs.Bool("measure", false, "replay the trace once under continuous churn and report throughput degradation")
 		swaps       = fs.Int("swaps", 0, "bound on hot-swaps in -measure mode (0 = churn for the whole replay)")
 		seed        = fs.Int64("seed", 1, "deterministic seed for traces and update streams")
-		obsvAddr    = fs.String("obsv", "", "observability HTTP address (e.g. :9090): /metrics, /statusz, /tracez, /debug/pprof (empty disables)")
+		obsvAddr    = fs.String("obsv", "", "observability HTTP address (e.g. :9090): /metrics, /statusz, /tracez, /topflows, /eventz, /debug/pprof (empty disables)")
 		sample      = fs.Int("sample", 0, "sampled packet tracing: record 1 in N packets hop by hop (0 disables)")
+		top         = fs.Int("top", 0, "end-of-run heavy-hitter report: print the top N detected flows (steered mode; implies observability)")
 	)
 	fs.Parse(args)
 	if *rulesPath == "" {
@@ -75,12 +76,20 @@ func runServe(args []string) {
 		Stride: *stride, Partitions: *partsN, Splitter: *splitter, PrefixBits: *prefixBits,
 	})
 
-	// Observability is on whenever either flag asks for it: -obsv alone
-	// serves histograms and pprof, -sample alone records traces for the
-	// end-of-run report.
+	// Observability is on whenever any of the flags asks for it: -obsv
+	// alone serves histograms and pprof, -sample alone records traces for
+	// the end-of-run report, -top alone arms the heavy-hitter detector.
 	var obs *obsv.Obs
-	if *obsvAddr != "" || *sample > 0 {
+	if *obsvAddr != "" || *sample > 0 || *top > 0 {
 		obs = newObs(*sample)
+	}
+	if obs != nil {
+		// Pool growth becomes a journaled control-plane event; wire the
+		// hook before the explicit sizing below so the initial growth is
+		// recorded too.
+		partition.SetPoolResizeHook(func(oldSize, newSize int) {
+			obs.Journal.Append(obsv.EventPoolResize, 0, int64(oldSize), int64(newSize), 0)
+		})
 	}
 
 	// The partitioned engines fan every batch into a package-shared
@@ -141,6 +150,7 @@ func runServe(args []string) {
 		CacheEntries: *cacheN,
 		Steer:        *steer,
 		Incremental:  *incremental,
+		TopFlows:     *top,
 		Seed:         *seed,
 		Obs:          obs,
 	})
@@ -152,7 +162,7 @@ func runServe(args []string) {
 		if err != nil {
 			log.Fatalf("obsv server: %v", err)
 		}
-		fmt.Printf("observability    http://%s/{metrics,statusz,tracez,debug/pprof}\n", bound)
+		fmt.Printf("observability    http://%s/{metrics,statusz,tracez,topflows,eventz,debug/pprof}\n", bound)
 		defer func() {
 			shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer shCancel()
@@ -227,13 +237,51 @@ func runServe(args []string) {
 	fmt.Printf("client retries   %d\n", retries.Load())
 	if svc.Steered() {
 		fmt.Printf("steered workers  %v packets each\n", svc.WorkerClassified())
+		fmt.Printf("imbalance index  %.3f (max/mean worker load; 1.0 = balanced)\n", svc.ImbalanceIndex())
 	}
 	if strings.HasPrefix(*engine, "part-") {
 		fmt.Printf("partition pool   %d workers, %d inline fallbacks\n", partition.PoolSize(), partition.InlineFallbacks())
 	}
 	fmt.Print(svc.Counters().Table())
+	if *top > 0 {
+		printTopFlows(svc, *top)
+	}
 	if obs != nil {
 		printObsSummary(obs)
+		printJournalTail(obs.Journal, 10)
+	}
+}
+
+// printTopFlows renders the end-of-run heavy-hitter table (-top N).
+func printTopFlows(svc *serve.Service, n int) {
+	det := svc.FlowStats()
+	if det == nil {
+		fmt.Println("top flows        detector off (requires -steer)")
+		return
+	}
+	rep := det.Report(n)
+	fmt.Printf("top flows        %d observed packets, top-%d share %.1f%%\n",
+		rep.Packets, rep.K, 100*rep.TopShare)
+	for i, fc := range rep.Flows {
+		fmt.Printf("  #%-3d %-10d %5.2f%%  worker=%d  %s\n",
+			i+1, fc.Count, 100*fc.Share, fc.Worker, fc.Hdr)
+	}
+}
+
+// printJournalTail renders the newest control-plane events (swap commits,
+// rollbacks, fallbacks, retirements, pool resizes, rebalance candidates).
+func printJournalTail(j *obsv.Journal, n int) {
+	events := j.Snapshot()
+	if len(events) == 0 {
+		return
+	}
+	if len(events) > n {
+		events = events[:n]
+	}
+	st := j.Stats()
+	fmt.Printf("control-plane journal (%d events, %d dropped; newest first)\n", st.Appended, st.Dropped)
+	for _, ev := range events {
+		fmt.Printf("  %s\n", ev)
 	}
 }
 

@@ -136,6 +136,29 @@ func (p *Private) grow(n int) {
 //
 //pclass:hotpath
 func (p *Private) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
+	p.classifyBatch(gen, hdrs, nil, out, classifyMisses)
+}
+
+// ClassifyBatchPrehashedInto is ClassifyBatchInto with the flow hashes
+// already computed: hashes[i] must equal hdrs[i].Key().Hash(). The
+// steered serving path hashes every key once to pick the worker and
+// passes the values through, so the private cache never rehashes — one
+// splitmix64 finalizer per packet saved on the hottest path.
+//
+//pclass:hotpath
+func (p *Private) ClassifyBatchPrehashedInto(gen uint64, hdrs []packet.Header, hashes []uint64, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
+	if len(hashes) != len(hdrs) {
+		panic(fmt.Sprintf("flowcache: prehashed batch hash length %d != input length %d", len(hashes), len(hdrs)))
+	}
+	p.classifyBatch(gen, hdrs, hashes, out, classifyMisses)
+}
+
+// classifyBatch is the shared batch body. pre, when non-nil, carries the
+// caller-computed flow hashes; nil computes them here (into the owned
+// scratch, so the insert phase can re-address buckets either way).
+//
+//pclass:hotpath
+func (p *Private) classifyBatch(gen uint64, hdrs []packet.Header, pre []uint64, out []int, classifyMisses func(hdrs []packet.Header, out []int)) {
 	n := len(hdrs)
 	if n == 0 {
 		return
@@ -147,6 +170,10 @@ func (p *Private) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int,
 		p.lastGen.Store(gen)
 	}
 	p.grow(n)
+	hs := pre
+	if hs == nil {
+		hs = p.hashes
+	}
 
 	probeHist := p.probeHist.Load()
 	var probeStart time.Time
@@ -157,8 +184,13 @@ func (p *Private) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int,
 	for i, h := range hdrs {
 		k := h.Key()
 		p.keys[i] = k
-		hv := k.Hash()
-		p.hashes[i] = hv
+		var hv uint64
+		if pre != nil {
+			hv = pre[i]
+		} else {
+			hv = k.Hash()
+			p.hashes[i] = hv
+		}
 		r, hit, staleDropped := p.buckets[hv&p.bucketMask].lookup(k, gen)
 		if staleDropped {
 			stale++
@@ -189,7 +221,7 @@ func (p *Private) ClassifyBatchInto(gen uint64, hdrs []packet.Header, out []int,
 	evicted, insStale := 0, 0
 	for j, pi := range p.missIdx[:m] {
 		out[pi] = missOut[j]
-		ev, st := p.buckets[p.hashes[pi]&p.bucketMask].insert(p.keys[pi], gen, int32(missOut[j]))
+		ev, st := p.buckets[hs[pi]&p.bucketMask].insert(p.keys[pi], gen, int32(missOut[j]))
 		if ev {
 			evicted++
 		}

@@ -1,0 +1,116 @@
+package flowstats
+
+import (
+	"sort"
+	"testing"
+
+	"pktclass/internal/packet"
+)
+
+// TestDetectorAccuracySweep measures sketch top-K accuracy against
+// ground-truth counts across traffic skews — the data behind the
+// EXPERIMENTS.md flow-telemetry entry. Reproduce with
+// `go test ./internal/obsv/flowstats -run AccuracySweep -v`.
+// Hard assertions are kept to the regimes where heavy hitters exist:
+// on uniform traffic there is nothing to recall and the interesting
+// number is the (tiny, honest) top-K share.
+func TestDetectorAccuracySweep(t *testing.T) {
+	const (
+		workers = 4
+		flows   = 4096
+		count   = 100000
+		k       = 16
+	)
+	pop := make([]packet.Header, flows)
+	for i := range pop {
+		pop[i] = flowHeader(i)
+	}
+	for _, s := range []float64{0, 1.0, 1.2, 1.5} {
+		trace, err := packet.ZipfTrace(pop, packet.ZipfTraceConfig{
+			Count: count, S: s, MeanBurst: 4, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type hc struct {
+			hash  uint64
+			count uint64
+		}
+		truthMap := map[uint64]uint64{}
+		for _, h := range trace {
+			truthMap[h.Key().Hash()]++
+		}
+		truth := make([]hc, 0, len(truthMap))
+		for h, n := range truthMap {
+			truth = append(truth, hc{h, n})
+		}
+		sort.Slice(truth, func(a, b int) bool {
+			if truth[a].count != truth[b].count {
+				return truth[a].count > truth[b].count
+			}
+			return truth[a].hash < truth[b].hash
+		})
+
+		d := NewDetector(workers, k, 0)
+		observeSteered(d, trace, workers)
+
+		detected := map[uint64]uint64{}
+		for _, fc := range d.TopK(0) {
+			detected[fc.Hash] = fc.Count
+		}
+		recallAt := func(n int) float64 {
+			if n > len(truth) {
+				n = len(truth)
+			}
+			hits := 0
+			for _, tr := range truth[:n] {
+				if _, ok := detected[tr.hash]; ok {
+					hits++
+				}
+			}
+			return float64(hits) / float64(n)
+		}
+		// Mean relative count error over the true top-8 flows that were
+		// detected (CMS only overestimates, so this is pure inflation).
+		var relErr float64
+		seen := 0
+		for _, tr := range truth[:8] {
+			if est, ok := detected[tr.hash]; ok {
+				relErr += float64(est-tr.count) / float64(tr.count)
+				seen++
+			}
+		}
+		if seen > 0 {
+			relErr /= float64(seen)
+		}
+		var trueTopShare float64
+		n := k
+		if n > len(truth) {
+			n = len(truth)
+		}
+		for _, tr := range truth[:n] {
+			trueTopShare += float64(tr.count)
+		}
+		trueTopShare /= count
+
+		r8, r16 := recallAt(8), recallAt(16)
+		skew := "uniform"
+		if s > 0 {
+			skew = "zipf"
+		}
+		t.Logf("%s s=%.1f: recall@8=%.2f recall@16=%.2f count-err=%.4f topk-share=%.3f (true %.3f)",
+			skew, s, r8, r16, relErr, d.TopKShare(), trueTopShare)
+
+		if s >= 1.2 && r8 < 0.9 {
+			t.Fatalf("s=%.1f: recall@8 = %.2f < 0.9", s, r8)
+		}
+		if s >= 1.2 && relErr > 0.05 {
+			t.Fatalf("s=%.1f: mean count inflation %.4f > 5%%", s, relErr)
+		}
+		// The share estimate must never overstate reality by more than the
+		// sketch's overestimation bound allows on this width.
+		if share := d.TopKShare(); share > trueTopShare+0.05 {
+			t.Fatalf("s=%.1f: TopKShare %.3f overstates true share %.3f", s, share, trueTopShare)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package obsv
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -11,6 +12,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"pktclass/internal/obsv/flowstats"
 )
 
 // Server is the stdlib-only exposition surface:
@@ -20,6 +23,8 @@ import (
 //	/statusz        JSON snapshot (instruments, quantiles, status
 //	                providers, tracer accounting)
 //	/tracez         the sampled packet-trace ring, text or ?format=json
+//	/topflows       the heavy-hitter detector's merged top-K flow table
+//	/eventz         the control-plane event journal, newest first
 //	/debug/pprof/*  the runtime profiler endpoints
 //
 // Collectors (dynamic gauges, status providers) are registered before
@@ -31,6 +36,8 @@ type Server struct {
 	mu        sync.Mutex
 	gaugeFns  []GaugeFunc
 	statusFns map[string]func() any
+	topFn     func(n int) flowstats.Report
+	journal   *Journal
 	start     time.Time
 
 	httpSrv *http.Server
@@ -65,6 +72,23 @@ func (s *Server) AddStatus(name string, fn func() any) {
 	s.statusFns[name] = fn
 }
 
+// SetTopFlows wires the /topflows provider — typically the steered
+// service's flowstats Detector.Report. Nil (the default) serves an
+// explanatory "detection off" page instead.
+func (s *Server) SetTopFlows(fn func(n int) flowstats.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topFn = fn
+}
+
+// SetJournal wires the /eventz provider (typically Obs.Journal). Nil
+// serves an explanatory "journaling off" page instead.
+func (s *Server) SetJournal(j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
 // Handler builds the route mux. Exposed for tests and for embedding into
 // an existing server.
 func (s *Server) Handler() http.Handler {
@@ -72,6 +96,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/topflows", s.handleTopflows)
+	mux.HandleFunc("/eventz", s.handleEventz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -189,6 +215,81 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	for i := range traces {
 		w.Write([]byte(traces[i].String()))
 		w.Write([]byte("\n\n"))
+	}
+}
+
+// queryN parses a non-negative ?n= limit (def when absent or invalid).
+func queryN(r *http.Request, def int) int {
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func (s *Server) handleTopflows(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	topFn := s.topFn
+	s.mu.Unlock()
+	if topFn == nil {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("{}\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("flow detection disabled (run a steered observed service, e.g. pclass serve -steer -obsv ...)\n"))
+		return
+	}
+	rep := topFn(queryN(r, 16))
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "packets=%d  workers=%d  k=%d  top-share=%.1f%%\n\n",
+		rep.Packets, rep.Workers, rep.K, 100*rep.TopShare)
+	fmt.Fprintf(w, "%-4s %-12s %-8s %-6s %-16s %s\n", "rank", "count", "share", "worker", "hash", "flow")
+	for i, fc := range rep.Flows {
+		fmt.Fprintf(w, "%-4d %-12d %-8s %-6d %016x %s\n",
+			i+1, fc.Count, fmt.Sprintf("%.2f%%", 100*fc.Share), fc.Worker, fc.Hash, fc.Hdr)
+	}
+}
+
+func (s *Server) handleEventz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("{}\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("event journaling disabled (run an observed service, e.g. pclass serve -obsv ...)\n"))
+		return
+	}
+	events := j.Snapshot()
+	if n := queryN(r, len(events)); n < len(events) {
+		events = events[:n]
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"journal": j.Stats(), "events": events})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := j.Stats()
+	fmt.Fprintf(w, "appended=%d  dropped=%d  slots=%d\n\n", st.Appended, st.Dropped, st.Slots)
+	for _, ev := range events {
+		fmt.Fprintf(w, "%s\n", ev)
 	}
 }
 

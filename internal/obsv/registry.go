@@ -106,6 +106,15 @@ type Obs struct {
 	// vs rebuild readout.
 	SwapIncremental *Histogram
 	SwapIncVerify   *Histogram
+	// SteerScatter is the steered dispatch phase per submitted batch: flow
+	// hashing, per-worker gather, and the queue sends — the gather/scatter
+	// overhead the RSS-style path pays that the legacy path does not.
+	SteerScatter *Histogram
+
+	// Journal is the control-plane event ring every swap/rollback/fallback/
+	// retirement transition is appended to (served at /eventz). Always
+	// non-nil on an Obs built by NewObs; nil-safe like the Tracer.
+	Journal *Journal
 }
 
 // Histogram names the serving layer registers in its Obs registry.
@@ -119,6 +128,7 @@ const (
 
 	HistSwapIncremental = "serve.swap_incremental"
 	HistSwapIncVerify   = "serve.swap_inc_verify"
+	HistSteerScatter    = "serve.steer_scatter"
 )
 
 // NewObs builds the serving instrument set in reg (nil allocates a fresh
@@ -139,5 +149,8 @@ func NewObs(reg *Registry, tracer *Tracer) *Obs {
 
 		SwapIncremental: reg.Histogram(HistSwapIncremental),
 		SwapIncVerify:   reg.Histogram(HistSwapIncVerify),
+		SteerScatter:    reg.Histogram(HistSteerScatter),
+
+		Journal: NewJournal(0),
 	}
 }

@@ -76,9 +76,12 @@ type PacketTrace struct {
 	Hdr        packet.Header `json:"header"`
 	Result     int           `json:"result"`
 	TotalNanos int64         `json:"total_nanos"`
-	NHops      int           `json:"-"`
-	Dropped    int           `json:"dropped,omitempty"` // hops beyond MaxHops
-	Hops       [MaxHops]Hop  `json:"-"`
+	// Worker is the steered-path worker that classified the sampled
+	// packet (-1 when the sample was not taken on the steered path).
+	Worker  int32        `json:"worker"`
+	NHops   int          `json:"-"`
+	Dropped int          `json:"dropped,omitempty"` // hops beyond MaxHops
+	Hops    [MaxHops]Hop `json:"-"`
 
 	start time.Time
 	last  time.Time
@@ -122,6 +125,9 @@ func (tr *PacketTrace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace #%d engine=%s hdr=%s result=%d total=%s",
 		tr.Seq, tr.Engine, tr.Hdr, tr.Result, time.Duration(tr.TotalNanos))
+	if tr.Worker >= 0 {
+		fmt.Fprintf(&b, " worker=%d", tr.Worker)
+	}
 	if tr.Dropped > 0 {
 		fmt.Fprintf(&b, " dropped=%d", tr.Dropped)
 	}
@@ -225,7 +231,7 @@ func (t *Tracer) acquire(seq uint64) *PacketTrace {
 	}
 	t.sampled.Add(1)
 	now := time.Now()
-	slot.tr = PacketTrace{Seq: seq, Result: -1, start: now, last: now, slot: slot}
+	slot.tr = PacketTrace{Seq: seq, Result: -1, Worker: -1, start: now, last: now, slot: slot}
 	return &slot.tr
 }
 

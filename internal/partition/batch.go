@@ -55,6 +55,12 @@ var (
 	poolWorkersFast atomic.Int32
 
 	inlineFallbacks atomic.Int64
+
+	// resizeHook, when set, is invoked after each pool growth with the
+	// old and new sizes — the serving layer journals these as
+	// control-plane events. Stored atomically so SetPoolResizeHook never
+	// races ensurePool's fast path.
+	resizeHook atomic.Value // of func(oldSize, newSize int)
 )
 
 // ensurePool creates the shared queue once and grows the worker pool to
@@ -70,6 +76,7 @@ func ensurePool(n int) {
 		return
 	}
 	poolMu.Lock()
+	old := poolWorkers
 	for poolWorkers < n {
 		poolWorkers++
 		go func() {
@@ -78,8 +85,16 @@ func ensurePool(n int) {
 			}
 		}()
 	}
+	grown := poolWorkers
 	poolWorkersFast.Store(int32(poolWorkers))
 	poolMu.Unlock()
+	if grown > old {
+		// Outside poolMu: the hook may read PoolSize or journal an event
+		// without holding up concurrent growers.
+		if fn, ok := resizeHook.Load().(func(int, int)); ok && fn != nil {
+			fn(old, grown)
+		}
+	}
 }
 
 // SetPoolSize grows the package-shared sub-engine worker pool to at
@@ -99,6 +114,18 @@ func PoolSize() int { return int(poolWorkersFast.Load()) }
 // under load means the pool is undersized for the offered concurrency —
 // the signal SetPoolSize exists to act on.
 func InlineFallbacks() int64 { return inlineFallbacks.Load() }
+
+// SetPoolResizeHook registers fn to be called after every pool growth
+// with the old and new worker counts (nil clears it). The hook runs on
+// the growing goroutine, outside the pool lock; keep it cheap. Intended
+// for the serving layer's control-plane event journal.
+func SetPoolResizeHook(fn func(oldSize, newSize int)) {
+	// atomic.Value refuses nil; store a typed no-op to clear.
+	if fn == nil {
+		fn = func(int, int) {}
+	}
+	resizeHook.Store(fn)
+}
 
 // submit hands a task to the pool, or runs it inline when the pool is
 // saturated. Workers never submit, so inline fallback cannot deadlock.

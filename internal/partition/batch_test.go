@@ -101,3 +101,37 @@ func TestPoolInlineFallbackCounts(t *testing.T) {
 	parked.Wait()
 	queued.Wait()
 }
+
+// The resize hook must fire exactly once per growth with the old and new
+// sizes, outside the pool lock, and a no-op resize must stay silent.
+func TestPoolResizeHookFiresOnGrowth(t *testing.T) {
+	type resize struct{ old, grown int }
+	var mu sync.Mutex
+	var calls []resize
+	SetPoolResizeHook(func(oldSize, newSize int) {
+		mu.Lock()
+		calls = append(calls, resize{oldSize, newSize})
+		mu.Unlock()
+	})
+	t.Cleanup(func() { SetPoolResizeHook(nil) })
+
+	ensurePool(1)
+	before := PoolSize()
+	mu.Lock()
+	calls = nil
+	mu.Unlock()
+
+	snapshot := func() []resize {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]resize(nil), calls...)
+	}
+	SetPoolSize(before + 2)
+	if got := snapshot(); len(got) != 1 || got[0].old != before || got[0].grown != before+2 {
+		t.Fatalf("growth hook calls = %+v, want one (%d -> %d)", got, before, before+2)
+	}
+	SetPoolSize(before) // no-op: already larger
+	if got := snapshot(); len(got) != 1 {
+		t.Fatalf("no-op resize fired the hook: %+v", got)
+	}
+}

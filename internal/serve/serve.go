@@ -35,6 +35,7 @@ import (
 	"pktclass/internal/flowcache"
 	"pktclass/internal/metrics"
 	"pktclass/internal/obsv"
+	"pktclass/internal/obsv/flowstats"
 	"pktclass/internal/packet"
 	"pktclass/internal/ruleset"
 	"pktclass/internal/update"
@@ -106,6 +107,18 @@ type Config struct {
 	// incremental verify beyond the per-touched-rule directed probes
 	// (0 selects 16; negative disables the spot checks).
 	SpotCheckPackets int
+	// TopFlows sizes the per-worker top-K table of the heavy-hitter
+	// detector on the steered observed path (0 selects 16; negative
+	// disables detection). Each worker feeds its own sketch stripe after
+	// classifying its sub-batch, so detection inherits the steered path's
+	// single-writer discipline and costs zero allocations per batch.
+	TopFlows int
+	// RebalanceThreshold arms the steer rebalance-candidate journal event:
+	// when top-K flow share x imbalance index (both in [0,W]) crosses this
+	// value, ImbalanceIndex appends one EventRebalanceCandidate and
+	// re-arms only after the score falls back below 80% of the threshold.
+	// 0 selects 2; negative disables the check.
+	RebalanceThreshold float64
 	// Seed makes swap-verification traces deterministic.
 	Seed int64
 	// Obs wires the observability layer: the service registers its counters
@@ -129,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpotCheckPackets == 0 {
 		c.SpotCheckPackets = 16
+	}
+	if c.TopFlows == 0 {
+		c.TopFlows = 16
+	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = 2
 	}
 	return c
 }
@@ -297,6 +316,24 @@ type Service struct {
 	// obs is Config.Obs; nil disables every observability branch.
 	obs *obsv.Obs
 
+	// det is the steered-path heavy-hitter detector (nil unless steered,
+	// observed and TopFlows >= 0). Each worker observes its own stripe
+	// after classifying, so the detector never sees concurrent writers.
+	det *flowstats.Detector
+	// journal is Obs.Journal (nil unobserved): the control-plane event
+	// ring every swap/rollback/fallback/retirement is appended to.
+	// Appends go through the nil-safe methods, so no call site branches.
+	journal *obsv.Journal
+	// load turns periodic WorkerClassified samples into the sliding-window
+	// imbalance index; imbalance mirrors the latest index (in 1/1000ths)
+	// into the registry so /metrics and Counters read the same number.
+	load      *flowstats.LoadTracker
+	imbalance *metrics.Gauge
+	// rebalanceHot is the hysteresis latch of the rebalance-candidate
+	// check: set when the score crosses the threshold (one journal event
+	// per excursion), cleared when it decays below 80% of it.
+	rebalanceHot atomic.Bool
+
 	// testObserveSteer, when set by tests before any Submit, is called by
 	// each worker with its id and the sub-batch it is about to classify —
 	// the probe the flow-affinity proof uses to see which worker touched
@@ -348,6 +385,14 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 	s.incrementalSwaps = s.reg.Counter("serve.incremental_swaps")
 	s.incrementalRollbacks = s.reg.Counter("serve.incremental_rollbacks")
 	s.incrementalFallbacks = s.reg.Counter("serve.incremental_fallbacks")
+	s.load = flowstats.NewLoadTracker(0)
+	s.imbalance = s.reg.Gauge("serve.imbalance_milli")
+	if cfg.Obs != nil {
+		s.journal = cfg.Obs.Journal
+		if cfg.Steer && cfg.TopFlows > 0 {
+			s.det = flowstats.NewDetector(cfg.Workers, cfg.TopFlows, 0)
+		}
+	}
 	if cfg.CacheEntries > 0 && !cfg.Steer {
 		s.cache = flowcache.New(flowcache.Config{Entries: cfg.CacheEntries, Shards: cfg.CacheShards})
 		if cfg.Obs != nil {
@@ -355,7 +400,11 @@ func New(rs *ruleset.RuleSet, build BuildFunc, cfg Config) (*Service, error) {
 		}
 		eng = core.NewCached(eng, s.cache)
 	}
-	s.engine.Store(&live{eng: eng, gen: s.gens.Add(1)})
+	gen := s.gens.Add(1)
+	s.engine.Store(&live{eng: eng, gen: gen})
+	// The initial build is a swap like any other to the journal: an
+	// observed service's /eventz always opens with its first commit.
+	s.journal.Append(obsv.EventSwapCommitted, gen, int64(rs.Len()), 0, 0)
 	// Distribute QueueDepth across the shards so the total buffered
 	// capacity equals QueueDepth exactly: per-shard ceil rounding would
 	// exceed the documented bound whenever the depth doesn't divide evenly
@@ -410,9 +459,11 @@ type worker struct {
 	// missFn is the pre-bound cache-miss fallback, built once so the hot
 	// path never constructs a closure.
 	missFn func([]packet.Header, []int)
-	// classified counts packets this worker classified (for the per-worker
-	// exposition gauges).
+	// classified and batches count this worker's packets and completed
+	// (sub-)batches, for the per-worker exposition gauges and the load/
+	// imbalance telemetry.
 	classified atomic.Int64
+	batches    atomic.Int64
 }
 
 // run drains one shard queue. Legacy items carry a whole batch; steered
@@ -456,6 +507,7 @@ func (w *worker) run(shard chan item) {
 			core.ClassifyBatchInto(eng, p.hdrs, p.results)
 		}
 		w.classified.Add(int64(len(p.hdrs)))
+		w.batches.Add(1)
 		s.classified.Add(int64(len(p.hdrs)))
 		s.batches.Inc()
 		close(p.done)
@@ -569,11 +621,13 @@ func (s *Service) ApplyOps(ops []update.Op) error {
 			return nil
 		case errors.Is(err, update.ErrDeltaUnsupported):
 			s.incrementalFallbacks.Inc()
+			s.journal.Append(obsv.EventDeltaFallback, s.gens.Load(), int64(len(ops)), 0, 0)
 		default:
 			// The delta applied but its scoped verify found a divergence:
 			// the update is still taken, through the path whose full
 			// differential verify decides independently.
 			s.incrementalRollbacks.Inc()
+			s.journal.Append(obsv.EventSwapRolledBack, s.gens.Load(), 2, 1, 0)
 		}
 	}
 	return s.swapLocked(next)
@@ -625,10 +679,14 @@ func (s *Service) applyIncrementalLocked(ops []update.Op, next *ruleset.RuleSet)
 		eng = core.NewCached(eng, s.cache)
 	}
 	s.rs = next
+	retired := s.gens.Load()
+	gen := s.gens.Add(1)
 	// On the steered path the fresh generation retires every worker's
 	// private entries the same lazy way the shared cache retires its own.
-	s.engine.Store(&live{eng: eng, gen: s.gens.Add(1)})
+	s.engine.Store(&live{eng: eng, gen: gen})
 	s.incrementalSwaps.Inc()
+	s.journal.Append(obsv.EventGenerationRetired, retired, 0, 0, 0)
+	s.journal.Append(obsv.EventSwapCommitted, gen, int64(next.Len()), 1, 0)
 	elapsed := time.Since(start)
 	s.swapLatency.Observe(elapsed)
 	if s.obs != nil {
@@ -656,6 +714,7 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 	shadow, err := s.build(next)
 	if err != nil {
 		s.failedSwaps.Inc()
+		s.journal.Append(obsv.EventSwapRolledBack, s.gens.Load(), 1, 0, 0)
 		return fmt.Errorf("serve: shadow build failed, %w: %w", ErrRolledBack, err)
 	}
 	buildDone := time.Now()
@@ -673,6 +732,7 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 		}
 		if m != nil {
 			s.failedSwaps.Inc()
+			s.journal.Append(obsv.EventSwapRolledBack, s.gens.Load(), 2, 0, 0)
 			return fmt.Errorf("serve: shadow verify failed, %w: %s", ErrRolledBack, m)
 		}
 	}
@@ -683,8 +743,12 @@ func (s *Service) swapLocked(next *ruleset.RuleSet) error {
 		shadow = core.NewCached(shadow, s.cache)
 	}
 	s.rs = next
-	s.engine.Store(&live{eng: shadow, gen: s.gens.Add(1)})
+	retired := s.gens.Load()
+	gen := s.gens.Add(1)
+	s.engine.Store(&live{eng: shadow, gen: gen})
 	s.swaps.Inc()
+	s.journal.Append(obsv.EventGenerationRetired, retired, 0, 0, 0)
+	s.journal.Append(obsv.EventSwapCommitted, gen, int64(next.Len()), 0, 0)
 	elapsed := time.Since(start)
 	s.swapLatency.Observe(elapsed)
 	if s.obs != nil {
@@ -763,6 +827,87 @@ func (s *Service) WorkerClassified() []int64 {
 	}
 	return out
 }
+
+// WorkerLoad is one worker's load snapshot: cumulative packets and
+// batches classified, the instantaneous queue depth of its shard, and
+// its private-cache hit rate (-1 when the worker runs uncached).
+type WorkerLoad struct {
+	Worker     int     `json:"worker"`
+	Classified int64   `json:"classified"`
+	Batches    int64   `json:"batches"`
+	QueueDepth int     `json:"queue_depth"`
+	HitRate    float64 `json:"cache_hit_rate"`
+}
+
+// WorkerLoads snapshots every worker's load telemetry, for /statusz and
+// the end-of-run report. Queue depths are instantaneous channel lengths —
+// consistent enough for a scrape, not a synchronized snapshot.
+func (s *Service) WorkerLoads() []WorkerLoad {
+	out := make([]WorkerLoad, len(s.workers))
+	for i, w := range s.workers {
+		wl := WorkerLoad{
+			Worker:     i,
+			Classified: w.classified.Load(),
+			Batches:    w.batches.Load(),
+			QueueDepth: len(s.shards[i]),
+			HitRate:    -1,
+		}
+		if w.cache != nil {
+			wl.HitRate = w.cache.Stats().HitRate()
+		}
+		out[i] = wl
+	}
+	return out
+}
+
+// ImbalanceIndex samples the per-worker classified counts into the
+// sliding load window and returns max/mean of the per-worker deltas over
+// that window: 1.0 is perfect balance, Workers means one worker took
+// everything, 0 means no traffic moved since the oldest retained sample.
+// The value is mirrored into the serve.imbalance_milli gauge (in
+// 1/1000ths), and when the heavy-hitter detector is live the sample also
+// runs the rebalance-candidate check (top-K share x imbalance against
+// Config.RebalanceThreshold, journaled with hysteresis). Call it
+// periodically — each /metrics scrape does, and the scaling bench does at
+// the end of its measured window.
+func (s *Service) ImbalanceIndex() float64 {
+	idx := s.load.Sample(s.WorkerClassified())
+	s.imbalance.Set(int64(idx * 1000))
+	s.maybeRebalanceEvent(idx)
+	return idx
+}
+
+// maybeRebalanceEvent journals one EventRebalanceCandidate per threshold
+// excursion of the skew score (top-K flow share x imbalance index): the
+// signal ROADMAP item 5's adaptive steering will consume, recorded today
+// so the condition is observable before the mechanism exists.
+func (s *Service) maybeRebalanceEvent(idx float64) {
+	det := s.det
+	thr := s.cfg.RebalanceThreshold
+	if det == nil || thr <= 0 || idx <= 0 {
+		return
+	}
+	score := det.TopKShare() * idx
+	if score >= thr {
+		if s.rebalanceHot.CompareAndSwap(false, true) {
+			counts := s.WorkerClassified()
+			hot := 0
+			for i, c := range counts {
+				if c > counts[hot] {
+					hot = i
+				}
+			}
+			s.journal.Append(obsv.EventRebalanceCandidate, s.gens.Load(), int64(hot), 0, score)
+		}
+	} else if score < thr*0.8 {
+		s.rebalanceHot.Store(false)
+	}
+}
+
+// FlowStats returns the steered path's heavy-hitter detector, nil when
+// detection is off (unsteered, unobserved, or TopFlows < 0). The returned
+// detector is safe to read concurrently with serving.
+func (s *Service) FlowStats() *flowstats.Detector { return s.det }
 
 // Counters snapshots the service statistics.
 func (s *Service) Counters() Counters {

@@ -30,12 +30,13 @@ import (
 //
 //pclass:pooled
 type steerTask struct {
-	sc   *steerScratch
-	hdrs []packet.Header // this worker's packets, in batch order
-	idx  []int32         // original batch positions, parallel to hdrs
-	res  []int           // worker-filled results, parallel to hdrs
-	out  []int           // the whole batch's output slice
-	p    *Pending        // async submit; nil on the ClassifySteered path
+	sc     *steerScratch
+	hdrs   []packet.Header // this worker's packets, in batch order
+	hashes []uint64        // flow hashes, parallel to hdrs: computed once at dispatch, reused by the private cache and the heavy-hitter detector
+	idx    []int32         // original batch positions, parallel to hdrs
+	res    []int           // worker-filled results, parallel to hdrs
+	out    []int           // the whole batch's output slice
+	p      *Pending        // async submit; nil on the ClassifySteered path
 	// l is the (engine, generation) pair pinned by the submitter with ONE
 	// atomic load for the whole batch. Workers classify their sub-batches
 	// against it rather than re-loading: a batch scattered across workers
@@ -87,6 +88,7 @@ func (sc *steerScratch) release() {
 	for i := range sc.tasks {
 		t := &sc.tasks[i]
 		t.hdrs = t.hdrs[:0]
+		t.hashes = t.hashes[:0]
 		t.idx = t.idx[:0]
 		t.out = nil
 		t.p = nil
@@ -115,16 +117,26 @@ func (sc *steerScratch) release() {
 //pclass:hotpath
 func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p *Pending) {
 	nw := len(s.shards)
+	obs := s.obs
+	var scatterStart time.Time
+	if obs != nil {
+		scatterStart = time.Now()
+	}
 	// One engine load per batch, shared by every sub-batch (see
 	// steerTask.l).
 	l := s.engine.Load()
 	for i := range hdrs {
 		// High hash bits pick the worker, low bits stay free for the
-		// private cache's bucket index — see packet.SteerWorker.
-		w := packet.SteerWorker(hdrs[i].Key().Hash(), nw)
+		// private cache's bucket index — see packet.SteerWorker. The hash
+		// travels with the task: the private cache and the heavy-hitter
+		// detector reuse it instead of rehashing.
+		h := hdrs[i].Key().Hash()
+		w := packet.SteerWorker(h, nw)
 		t := &sc.tasks[w]
 		//pclass:allow-alloc appends into scratch capacity retained across batches; amortized to 0 allocs/op
 		t.hdrs = append(t.hdrs, hdrs[i])
+		//pclass:allow-alloc appends into scratch capacity retained across batches; amortized to 0 allocs/op
+		t.hashes = append(t.hashes, h)
 		//pclass:allow-alloc appends into scratch capacity retained across batches; amortized to 0 allocs/op
 		t.idx = append(t.idx, int32(i))
 	}
@@ -155,6 +167,12 @@ func (s *Service) dispatch(sc *steerScratch, hdrs []packet.Header, out []int, p 
 		t.l = l
 		s.shards[w] <- item{t: t}
 		s.depth.Set(s.queued.Add(1))
+	}
+	// The scatter histogram closes here: hashing, gather, and the queue
+	// sends are all dispatch overhead the legacy whole-batch path never
+	// pays (the Observe touches only the histogram, never sc).
+	if obs != nil {
+		obs.SteerScatter.Observe(time.Since(scatterStart))
 	}
 	// Last touch of sc: drop dispatch's reference. If every worker already
 	// finished, the submitter is the one completing the batch.
@@ -209,17 +227,19 @@ func (s *Service) ClassifySteered(hdrs []packet.Header, out []int) error {
 
 // classify runs one steered sub-batch through this worker's private cache
 // (misses fall through to the live engine via the pre-bound missFn) or,
-// uncached, straight through the engine. Owner goroutine only.
+// uncached, straight through the engine. The dispatch-computed flow
+// hashes ride along so the cache skips its per-packet rehash. Owner
+// goroutine only.
 //
 //pclass:hotpath
-func (w *worker) classify(l *live, hdrs []packet.Header, res []int) {
+func (w *worker) classify(l *live, hdrs []packet.Header, hashes []uint64, res []int) {
 	if w.cache != nil {
 		// missFn closes over w.eng: binding the batch's engine here keeps
 		// the cache call allocation-free (no per-batch closure) while the
 		// miss fallback still targets exactly the build whose generation
 		// tags the probes.
 		w.eng = l.eng
-		w.cache.ClassifyBatchInto(l.gen, hdrs, res, w.missFn)
+		w.cache.ClassifyBatchPrehashedInto(l.gen, hdrs, hashes, res, w.missFn)
 		// Unbind the engine so a retired build doesn't stay pinned by an
 		// idle worker until its next cached batch.
 		w.eng = nil
@@ -242,6 +262,12 @@ func (w *worker) runSteered(t *steerTask) {
 	if f := s.testObserveSteer; f != nil {
 		f(w.id, t.hdrs)
 	}
+	// The heavy-hitter sketch observes this worker's own stripe with the
+	// hashes dispatch already computed — single writer per stripe, no
+	// rehash, one branch when detection is off.
+	if d := s.det; d != nil {
+		d.ObserveBatch(w.id, t.hdrs, t.hashes)
+	}
 	if obs := s.obs; obs != nil {
 		if t.p != nil {
 			obs.SubmitWait.Observe(time.Since(t.p.enq))
@@ -251,20 +277,22 @@ func (w *worker) runSteered(t *steerTask) {
 		// how", and a cache hit would hide exactly that.
 		if idx, tr := obs.Tracer.SampleBatch(len(t.hdrs)); tr != nil {
 			tr.Hdr = t.hdrs[idx]
+			tr.Worker = int32(w.id)
 			tr.Result = core.ClassifyTraced(l.eng, t.hdrs[idx], tr)
 			obs.Tracer.Finish(tr)
 		}
 		start := time.Now()
-		w.classify(l, t.hdrs, t.res)
+		w.classify(l, t.hdrs, t.hashes, t.res)
 		obs.ClassifyBatch.Observe(time.Since(start))
 	} else {
-		w.classify(l, t.hdrs, t.res)
+		w.classify(l, t.hdrs, t.hashes, t.res)
 	}
 	for j, i := range t.idx {
 		t.out[i] = t.res[j]
 	}
 	n := int64(len(t.hdrs))
 	w.classified.Add(n)
+	w.batches.Add(1)
 	s.classified.Add(n)
 	t.finish()
 }
